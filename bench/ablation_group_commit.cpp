@@ -1,0 +1,120 @@
+// Group-commit variant ablation (paper section 5.1.4): within a peer group,
+// Colony offers two commit protocols —
+//   variant 1: EPaxos on the critical path (PSI; conflicting transactions
+//              are ordered a priori and may abort),
+//   variant 2: local commit with EPaxos ordering in the background (the
+//              variant the paper's experiments use).
+// This bench measures commit latency, abort rate, and the consensus
+// fast/slow-path split as write contention grows.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "colony/cluster.hpp"
+#include "colony/session.hpp"
+#include "crdt/counter.hpp"
+
+namespace colony {
+namespace {
+
+struct Variant {
+  const char* name;
+  bool ordered;
+};
+
+void run_contention(double hot_probability) {
+  for (const Variant variant : {Variant{"variant2-async", false},
+                                Variant{"variant1-PSI", true}}) {
+    ClusterConfig cfg;
+    cfg.seed = 31 + static_cast<std::uint64_t>(hot_probability * 100);
+    Cluster cluster(cfg);
+    PeerGroupParent& parent = cluster.add_group_parent(0);
+    constexpr std::size_t kMembers = 8;
+    std::vector<EdgeNode*> members;
+    std::vector<NodeId> node_ids{parent.id()};
+    for (std::size_t i = 0; i < kMembers; ++i) {
+      members.push_back(&cluster.add_edge(ClientMode::kPeerGroup, 0, 10 + i));
+      node_ids.push_back(members.back()->id());
+    }
+    cluster.wire_peer_links(node_ids);
+    for (EdgeNode* m : members) {
+      m->join_group(parent.id(), [](Result<void>) {});
+      cluster.run_for(100 * kMillisecond);
+    }
+    cluster.run_for(1 * kSecond);
+
+    Rng rng(97);
+    LatencyHistogram commit_latency;
+    std::uint64_t aborts = 0, commits = 0;
+    constexpr int kRoundsPerMember = 25;
+
+    for (int round = 0; round < kRoundsPerMember; ++round) {
+      for (std::size_t i = 0; i < kMembers; ++i) {
+        EdgeNode& node = *members[i];
+        const ObjectKey key =
+            rng.chance(hot_probability)
+                ? ObjectKey{"game", "hot"}
+                : ObjectKey{"game", "own" + std::to_string(i)};
+        auto txn = node.begin();
+        node.update(txn, OpRecord{key, CrdtType::kPnCounter,
+                                  PnCounter::prepare_add(1)});
+        const SimTime started = cluster.now();
+        if (variant.ordered) {
+          node.commit_ordered(std::move(txn), [&, started](Result<Dot> r) {
+            if (r.ok()) {
+              ++commits;
+              commit_latency.record(cluster.now() - started);
+            } else {
+              ++aborts;
+            }
+          });
+        } else {
+          if (node.commit(std::move(txn)).ok()) {
+            ++commits;
+            commit_latency.record(cluster.now() - started);  // ~0: local
+          }
+        }
+      }
+      cluster.run_for(300 * kMillisecond);
+    }
+    cluster.run_for(5 * kSecond);
+
+    std::uint64_t fast = 0, slow = 0;
+    for (const EdgeNode* m : members) {
+      if (const auto* ep = m->group_consensus()) {
+        fast += ep->fast_path_commits();
+        slow += ep->slow_path_commits();
+      }
+    }
+    std::printf("hot=%4.0f%%  %-15s commits=%-5llu aborts=%-4llu "
+                "mean=%8.3fms p99=%8.3fms  leader fast/slow=%llu/%llu\n",
+                hot_probability * 100, variant.name,
+                static_cast<unsigned long long>(commits),
+                static_cast<unsigned long long>(aborts),
+                commit_latency.mean_us() / 1000.0,
+                benchutil::ms(commit_latency.percentile_us(99)),
+                static_cast<unsigned long long>(fast),
+                static_cast<unsigned long long>(slow));
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+}  // namespace colony
+
+int main() {
+  using namespace colony;
+  benchutil::header("Group-commit variant ablation",
+                    "Toumlilt et al., Middleware'21, section 5.1.4 "
+                    "(the two commit variants)");
+  std::printf("\n8-member peer group, 25 rounds/member; 'hot' = probability "
+              "a write touches the shared contended key\n\n");
+  for (const double hot : {0.0, 0.25, 0.5, 1.0}) {
+    run_contention(hot);
+  }
+  std::printf("\nExpected shape: variant 2 commits in ~0ms regardless of "
+              "contention and never aborts; variant 1 pays the consensus "
+              "round (milliseconds at peer-link latency) and aborts "
+              "conflicting transactions as contention grows.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Shared output helpers for the figure-reproduction harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/metrics.hpp"
+
+namespace colony::benchutil {
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void section(const std::string& name) {
+  std::printf("\n--- %s ---\n", name.c_str());
+}
+
+inline double ms(SimTime us) { return static_cast<double>(us) / 1000.0; }
+
+/// Print a time series as one row per bucket: mean latency (ms) and count
+/// in each `bucket` of simulated time — the textual form of the figures'
+/// scatter plots.
+inline void print_series_buckets(const Series& series, SimTime duration,
+                                 SimTime bucket = kSecond) {
+  std::printf("%8s  %12s  %8s   (%s)\n", "t(s)", "mean(ms)", "samples",
+              series.label().c_str());
+  for (SimTime t = 0; t < duration; t += bucket) {
+    const auto n = series.count_in(t, t + bucket);
+    if (n == 0) {
+      std::printf("%8.1f  %12s  %8zu\n",
+                  static_cast<double>(t) / kSecond, "-", n);
+    } else {
+      std::printf("%8.1f  %12.3f  %8zu\n",
+                  static_cast<double>(t) / kSecond,
+                  series.mean_in(t, t + bucket), n);
+    }
+  }
+}
+
+inline void print_latency_line(const std::string& label,
+                               const LatencyHistogram& h) {
+  std::printf("%-24s n=%-8zu mean=%9.3fms  p50=%9.3fms  p99=%9.3fms\n",
+              label.c_str(), h.count(), h.mean_us() / 1000.0,
+              ms(h.percentile_us(50)), ms(h.percentile_us(99)));
+}
+
+}  // namespace colony::benchutil

@@ -1,0 +1,83 @@
+// Figure 6 (paper section 7.3.1): impact of a peer-group member
+// disconnection. Same workload as Figure 5; one member loses its peer links
+// at t=25s and reconnects at t=45s. The member keeps working locally; upon
+// rejoining there is only a sub-millisecond bump while its cache refreshes
+// with the content the group published meanwhile.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "chat/driver.hpp"
+
+int main() {
+  using namespace colony;
+  benchutil::header("Figure 6: impact of a peer-group member disconnection",
+                    "Toumlilt et al., Middleware'21, Fig. 6");
+
+  ClusterConfig cluster_cfg;
+  cluster_cfg.num_dcs = 1;
+  cluster_cfg.seed = 13;
+  Cluster cluster(cluster_cfg);
+
+  chat::ChatDriverConfig cfg;
+  cfg.mode = ClientMode::kPeerGroup;
+  cfg.clients = 12;
+  cfg.group_size = 12;
+  cfg.trace.num_users = 36;
+  cfg.trace.num_workspaces = 1;
+  cfg.trace.channels_per_workspace = 20;
+  cfg.think_time = 150 * kMillisecond;
+  cfg.cache_capacity = 16;
+  cfg.seed = 23;
+  chat::ChatDriver driver(cluster, cfg);
+  constexpr std::size_t kVictim = 5;
+  driver.spotlight(kVictim);
+  driver.start();
+
+  constexpr SimTime kDisconnectAt = 25 * kSecond;
+  constexpr SimTime kReconnectAt = 45 * kSecond;
+  constexpr SimTime kEnd = 70 * kSecond;
+
+  const auto group_nodes = driver.group_node_ids(0);
+  cluster.scheduler().at(kDisconnectAt, [&] {
+    cluster.set_peer_links(driver.client(kVictim).id(), group_nodes, false);
+    cluster.set_uplink(driver.client(kVictim).id(), 0, false);
+    std::printf("[t=25s] member disconnected from its peer group\n");
+  });
+  cluster.scheduler().at(kReconnectAt, [&] {
+    cluster.set_peer_links(driver.client(kVictim).id(), group_nodes, true);
+    cluster.set_uplink(driver.client(kVictim).id(), 0, true);
+    driver.rejoin_group(kVictim);
+    std::printf("[t=45s] member reconnected and rejoined\n");
+  });
+
+  cluster.run_until(kEnd);
+  driver.stop();
+
+  benchutil::section("per-second response time, disconnected member");
+  benchutil::print_series_buckets(driver.spotlight_series(), kEnd);
+
+  benchutil::section("per-second response time, rest of the group");
+  benchutil::print_series_buckets(driver.series(ReadSource::kLocal), kEnd);
+  benchutil::print_series_buckets(driver.series(ReadSource::kPeer), kEnd);
+
+  benchutil::section("summary (paper: latency only slightly impacted, "
+                     "sub-millisecond bump on rejoin)");
+  benchutil::print_latency_line("member (all reads)",
+                                driver.spotlight_latency());
+  benchutil::print_latency_line("group client hits",
+                                driver.latency(ReadSource::kLocal));
+  benchutil::print_latency_line("group peer hits",
+                                driver.latency(ReadSource::kPeer));
+
+  const auto& victim = driver.spotlight_series();
+  std::printf(
+      "\nmember mean before/during/after disconnection: %.3f / %.3f / %.3f "
+      "ms\n",
+      victim.mean_in(5 * kSecond, kDisconnectAt),
+      victim.mean_in(kDisconnectAt, kReconnectAt),
+      victim.mean_in(kReconnectAt, kEnd));
+  std::printf("DC committed %llu transactions in total (the member's offline "
+              "work included after rejoin)\n",
+              static_cast<unsigned long long>(cluster.dc(0).committed()));
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Wall-clock micro-costs of the versioned store: journal append,
+// materialisation at a cut, base advancement, snapshot export/import.
+#include <benchmark/benchmark.h>
+
+#include "crdt/counter.hpp"
+#include "storage/hash_ring.hpp"
+#include "storage/journal_store.hpp"
+
+namespace colony {
+namespace {
+
+const ObjectKey kKey{"bench", "object"};
+
+void BM_JournalApply(benchmark::State& state) {
+  JournalStore store;
+  const Bytes op = PnCounter::prepare_add(1);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    store.apply(kKey, CrdtType::kPnCounter, Dot{1, ++n}, op);
+  }
+}
+BENCHMARK(BM_JournalApply);
+
+void BM_JournalMaterializeAtCut(benchmark::State& state) {
+  JournalStore store;
+  const Bytes op = PnCounter::prepare_add(1);
+  const auto len = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t i = 1; i <= len; ++i) {
+    store.apply(kKey, CrdtType::kPnCounter, Dot{1, i}, op);
+  }
+  const std::uint64_t cut = len / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.materialize(
+        kKey, [cut](const Dot& d) { return d.counter <= cut; }));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_JournalMaterializeAtCut)->Range(64, 8192)->Complexity();
+
+void BM_JournalAdvanceBase(benchmark::State& state) {
+  const Bytes op = PnCounter::prepare_add(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    JournalStore store;
+    for (std::uint64_t i = 1; i <= 1024; ++i) {
+      store.apply(kKey, CrdtType::kPnCounter, Dot{1, i}, op);
+    }
+    state.ResumeTiming();
+    store.advance_base(kKey, [](const Dot& d) { return d.counter <= 512; });
+  }
+}
+BENCHMARK(BM_JournalAdvanceBase);
+
+void BM_SnapshotExportImport(benchmark::State& state) {
+  JournalStore source;
+  const Bytes op = PnCounter::prepare_add(1);
+  for (std::uint64_t i = 1; i <= 512; ++i) {
+    source.apply(kKey, CrdtType::kPnCounter, Dot{1, i}, op);
+  }
+  for (auto _ : state) {
+    JournalStore dest;
+    dest.import_snapshot(*source.export_snapshot(kKey));
+    benchmark::DoNotOptimize(dest.current(kKey));
+  }
+}
+BENCHMARK(BM_SnapshotExportImport);
+
+void BM_HashRingOwner(benchmark::State& state) {
+  HashRing ring;
+  for (std::uint32_t s = 0; s < 16; ++s) ring.add_shard(s);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ring.owner(ObjectKey{"bench", "key" + std::to_string(++n % 1024)}));
+  }
+}
+BENCHMARK(BM_HashRingOwner);
+
+}  // namespace
+}  // namespace colony

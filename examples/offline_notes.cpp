@@ -1,0 +1,86 @@
+// Offline notes: a phone takes notes while disconnected, reconnects, and a
+// laptop sees them; then the phone migrates to another DC without losing
+// anything (paper sections 3.7-3.8: asynchronous commit, symbolic commit
+// vectors, migration with dot-based duplicate filtering).
+//
+//   $ ./offline_notes
+#include <cstdio>
+
+#include "colony/cluster.hpp"
+#include "colony/session.hpp"
+#include "crdt/rga.hpp"
+
+namespace {
+
+using namespace colony;
+
+const ObjectKey kNotes{"notes", "todo"};
+
+void show(const char* who, const EdgeNode& node) {
+  const auto* seq = dynamic_cast<const Rga*>(node.cached(kNotes));
+  std::printf("%s:", who);
+  if (seq == nullptr || seq->size() == 0) {
+    std::printf(" (empty)\n");
+    return;
+  }
+  for (const auto& line : seq->values()) std::printf("\n   - %s", line.c_str());
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  ClusterConfig cfg;
+  cfg.num_dcs = 2;  // two DCs so the phone can migrate
+  Cluster cluster(cfg);
+
+  EdgeNode& phone = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  EdgeNode& laptop = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  Session on_phone(phone), on_laptop(laptop);
+
+  on_laptop.subscribe({kNotes}, [](Result<void>) {});
+  cluster.run_for(500 * kMillisecond);
+
+  std::printf("-- phone goes into a tunnel (offline) --\n");
+  cluster.set_uplink(phone.id(), 0, false);
+  cluster.set_uplink(phone.id(), 1, false);
+
+  for (const auto* note : {"buy milk", "review Colony paper", "call mum"}) {
+    auto txn = on_phone.begin();
+    on_phone.append(txn, kNotes, note);
+    const auto r = on_phone.commit(std::move(txn));
+    std::printf("noted '%s' -> %s\n", note,
+                r.ok() ? "committed locally" : r.error().message.c_str());
+  }
+  show("phone (offline)", phone);
+  std::printf("unacknowledged on phone: %zu; laptop still sees nothing\n",
+              phone.unacked_count());
+  show("laptop", laptop);
+
+  std::printf("\n-- phone back online --\n");
+  cluster.set_uplink(phone.id(), 0, true);
+  cluster.set_uplink(phone.id(), 1, true);
+  cluster.run_for(8 * kSecond);
+  std::printf("unacknowledged on phone: %zu\n", phone.unacked_count());
+  show("laptop (synced)", laptop);
+
+  std::printf("\n-- phone travels: migrates from DC0 to DC1 --\n");
+  phone.migrate_to_dc(cluster.dc_node_id(1), [](Result<void> r) {
+    std::printf("migration: %s\n",
+                r.ok() ? "seamless" : r.error().message.c_str());
+  });
+  cluster.run_for(2 * kSecond);
+
+  auto txn = on_phone.begin();
+  on_phone.append(txn, kNotes, "note taken via DC1");
+  (void)on_phone.commit(std::move(txn));
+  cluster.run_for(5 * kSecond);
+
+  show("phone ", phone);
+  show("laptop", laptop);
+  std::printf("\nDC0 sequenced %llu txns, DC1 sequenced %llu — the phone's "
+              "note chain stayed intact across the move\n",
+              static_cast<unsigned long long>(cluster.dc(0).committed()),
+              static_cast<unsigned long long>(cluster.dc(1).committed()));
+  return 0;
+}

@@ -1,0 +1,3 @@
+// Key builders are header-only; this TU compiles the header standalone as a
+// hygiene check and anchors the library.
+#include "chat/model.hpp"

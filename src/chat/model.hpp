@@ -1,0 +1,61 @@
+// ColonyChat entity model (paper section 7.1).
+//
+// A Slack/Mattermost-like application over Colony CRDTs:
+//   * a user has a profile (gmap), a friends set, an events sequence and a
+//     set of workspaces she belongs to;
+//   * a workspace has a member set (with status) and a set of channels;
+//   * a channel has a description register and a message sequence (RGA);
+//   * bots are users that react to channel traffic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace colony::chat {
+
+/// Object-key builders (all ColonyChat data lives in the "chat" bucket).
+[[nodiscard]] inline ObjectKey user_profile_key(UserId user) {
+  return ObjectKey{"chat", "user." + std::to_string(user) + ".profile"};
+}
+[[nodiscard]] inline ObjectKey user_friends_key(UserId user) {
+  return ObjectKey{"chat", "user." + std::to_string(user) + ".friends"};
+}
+[[nodiscard]] inline ObjectKey user_events_key(UserId user) {
+  return ObjectKey{"chat", "user." + std::to_string(user) + ".events"};
+}
+[[nodiscard]] inline ObjectKey user_workspaces_key(UserId user) {
+  return ObjectKey{"chat", "user." + std::to_string(user) + ".ws"};
+}
+[[nodiscard]] inline ObjectKey workspace_members_key(std::size_t ws) {
+  return ObjectKey{"chat", "ws." + std::to_string(ws) + ".members"};
+}
+[[nodiscard]] inline ObjectKey workspace_channels_key(std::size_t ws) {
+  return ObjectKey{"chat", "ws." + std::to_string(ws) + ".channels"};
+}
+[[nodiscard]] inline ObjectKey channel_desc_key(std::size_t ws,
+                                                std::size_t ch) {
+  return ObjectKey{"chat", "ws." + std::to_string(ws) + ".ch." +
+                               std::to_string(ch) + ".desc"};
+}
+[[nodiscard]] inline ObjectKey channel_messages_key(std::size_t ws,
+                                                    std::size_t ch) {
+  return ObjectKey{"chat", "ws." + std::to_string(ws) + ".ch." +
+                               std::to_string(ch) + ".msgs"};
+}
+
+/// Member status inside a workspace (encoded into the member-set element).
+enum class MemberStatus : std::uint8_t {
+  kOwner,
+  kOrdinary,
+  kInvited,
+  kDeleted,
+};
+
+[[nodiscard]] inline std::string member_element(UserId user,
+                                                MemberStatus status) {
+  return std::to_string(user) + ":" + std::to_string(static_cast<int>(status));
+}
+
+}  // namespace colony::chat

@@ -1,0 +1,58 @@
+#include "chat/trace.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace colony::chat {
+
+UserScript::UserScript(const TraceConfig& config, UserId user, Rng& rng)
+    : config_(config), user_(user) {
+  bot_ = rng.uniform() < config.bot_fraction;
+  activity_ = rng.pareto(1.0, config.pareto_alpha);
+  workspace_ = rng.below(config.num_workspaces);
+  channel_ = rng.below(config.channels_per_workspace);
+  // Subscribe to a handful of channels in the home workspace; the current
+  // channel is always among them.
+  subscribed_.emplace_back(workspace_, channel_);
+  const std::size_t extra = 2 + rng.below(3);
+  for (std::size_t i = 0; i < extra; ++i) {
+    subscribed_.emplace_back(workspace_,
+                             rng.below(config.channels_per_workspace));
+  }
+}
+
+Action UserScript::next(Rng& rng) {
+  ++actions_;
+  Action action;
+  action.workspace = workspace_;
+
+  // Every refresh_every-th action the user opens a different channel
+  // (paper: "a user refreshes its local copy of a channel every 5
+  // transactions") — the main source of cache misses.
+  if (config_.refresh_every != 0 && actions_ % config_.refresh_every == 0) {
+    channel_ = rng.below(config_.channels_per_workspace);
+    action.channel_switch = true;
+  }
+  action.channel = channel_;
+
+  const double write_ratio =
+      bot_ ? config_.bot_write_ratio : config_.write_ratio;
+  if (rng.uniform() < write_ratio) {
+    action.kind = ActionKind::kPostMessage;
+  } else if (rng.uniform() < 0.02) {
+    action.kind = ActionKind::kUpdateProfile;
+  } else {
+    action.kind = ActionKind::kReadChannel;
+  }
+  return action;
+}
+
+double diurnal_factor(SimTime now, SimTime day_length) {
+  const double phase = static_cast<double>(now % day_length) /
+                       static_cast<double>(day_length);
+  // Peak activity mid-"day": factor < 1 (short think time); trough at
+  // "night": factor > 1.
+  return 1.0 - 0.75 * std::sin(2.0 * std::numbers::pi * phase);
+}
+
+}  // namespace colony::chat

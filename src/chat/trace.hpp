@@ -1,0 +1,78 @@
+// Synthetic ColonyChat trace generator.
+//
+// Substitutes for the paper's 40-day Mattermost trace (section 7.1) using
+// its published statistics: ~2000 users over 3 workspaces (20 channels
+// each), ~10% bots, 90/10 read/write per regular action, Pareto 80/20
+// activity skew, a channel refresh every 5 transactions, and a diurnal
+// cycle. Experiments accelerate the trace to minutes, as the paper does.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace colony::chat {
+
+struct TraceConfig {
+  std::size_t num_users = 36;
+  std::size_t num_workspaces = 3;
+  std::size_t channels_per_workspace = 20;
+  double bot_fraction = 0.10;
+  double write_ratio = 0.10;      // regular users
+  double bot_write_ratio = 0.40;  // bots "act upon messages": write-heavy
+  std::size_t refresh_every = 5;  // switch channel every N actions
+  double pareto_alpha = 1.16;     // 80/20 activity skew
+  bool diurnal = false;           // modulate think time over the run
+};
+
+enum class ActionKind : std::uint8_t {
+  kReadChannel,   // open a channel and read its recent messages
+  kPostMessage,   // read then append a message
+  kUpdateProfile, // occasional profile write
+};
+
+struct Action {
+  ActionKind kind{};
+  std::size_t workspace = 0;
+  std::size_t channel = 0;
+  bool channel_switch = false;  // a "refresh": likely cache miss
+};
+
+/// Per-user stationary state + action sampling.
+class UserScript {
+ public:
+  UserScript(const TraceConfig& config, UserId user, Rng& rng);
+
+  [[nodiscard]] UserId user() const { return user_; }
+  [[nodiscard]] bool is_bot() const { return bot_; }
+  /// Relative activity weight (Pareto-skewed; 20% of users do 80%).
+  [[nodiscard]] double activity() const { return activity_; }
+  [[nodiscard]] std::size_t home_workspace() const { return workspace_; }
+  [[nodiscard]] std::size_t home_channel() const { return channel_; }
+
+  /// Sample the next action; mutates the per-user counters.
+  Action next(Rng& rng);
+
+  /// Keys this user wants cached up-front (its interest set).
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
+  subscribed_channels() const {
+    return subscribed_;
+  }
+
+ private:
+  const TraceConfig& config_;
+  UserId user_;
+  bool bot_;
+  double activity_;
+  std::size_t workspace_;
+  std::size_t channel_;  // current channel
+  std::vector<std::pair<std::size_t, std::size_t>> subscribed_;
+  std::uint64_t actions_ = 0;
+};
+
+/// Diurnal modulation factor in (0.25, 1.75]: multiply think time by it.
+[[nodiscard]] double diurnal_factor(SimTime now, SimTime day_length);
+
+}  // namespace colony::chat

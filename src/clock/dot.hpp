@@ -1,0 +1,52 @@
+// Dots: globally unique transaction/operation identifiers.
+//
+// A dot is (origin node, per-origin sequence number) as in section 3.5.
+// Dots serve three purposes in the protocol: unique identification,
+// duplicate filtering after migration (section 3.8 "Avoiding Duplicates"),
+// and a deterministic total arbitration order between concurrent
+// transactions (used by LWW registers and strong convergence).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/binary_codec.hpp"
+#include "util/types.hpp"
+
+namespace colony {
+
+struct Dot {
+  NodeId origin = 0;
+  std::uint64_t counter = 0;
+
+  auto operator<=>(const Dot&) const = default;
+
+  [[nodiscard]] bool valid() const { return counter != 0; }
+
+  [[nodiscard]] std::string to_string() const {
+    return "(" + std::to_string(origin) + ":" + std::to_string(counter) + ")";
+  }
+
+  void encode(Encoder& enc) const {
+    enc.u64(origin);
+    enc.u64(counter);
+  }
+  static Dot decode(Decoder& dec) {
+    Dot d;
+    d.origin = dec.u64();
+    d.counter = dec.u64();
+    return d;
+  }
+};
+
+}  // namespace colony
+
+template <>
+struct std::hash<colony::Dot> {
+  std::size_t operator()(const colony::Dot& d) const noexcept {
+    return std::hash<std::uint64_t>{}(d.origin * 0x9e3779b97f4a7c15ULL ^
+                                      d.counter);
+  }
+};

@@ -1,0 +1,25 @@
+#include "clock/hlc.hpp"
+
+namespace colony {
+
+// Timestamps pack the physical micros in the high bits and a 16-bit logical
+// counter in the low bits, the standard HLC encoding.
+namespace {
+constexpr int kLogicalBits = 16;
+
+Timestamp pack(SimTime physical) { return physical << kLogicalBits; }
+}  // namespace
+
+Timestamp HybridLogicalClock::tick(SimTime physical_now) {
+  const Timestamp phys = pack(physical_now);
+  last_ = std::max(phys, last_ + 1);
+  return last_;
+}
+
+Timestamp HybridLogicalClock::witness(SimTime physical_now, Timestamp remote) {
+  const Timestamp phys = pack(physical_now);
+  last_ = std::max({phys, remote + 1, last_ + 1});
+  return last_;
+}
+
+}  // namespace colony

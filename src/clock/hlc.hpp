@@ -1,0 +1,32 @@
+// Hybrid logical clock used by DC shards for ClockSI-style timestamping.
+//
+// ClockSI (Du et al., SRDS'13) assumes loosely synchronised physical clocks;
+// the HLC combines the shard's (possibly skewed) physical clock with a
+// logical component so that timestamps are monotonic and respect message
+// causality even under skew.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace colony {
+
+class HybridLogicalClock {
+ public:
+  /// `now()` must be supplied by the caller (the simulator's notion of this
+  /// shard's physical clock, including its skew).
+  Timestamp tick(SimTime physical_now);
+
+  /// Witness a remote timestamp (message receipt): the clock advances past
+  /// it so subsequent local events are ordered after it.
+  Timestamp witness(SimTime physical_now, Timestamp remote);
+
+  [[nodiscard]] Timestamp last() const { return last_; }
+
+ private:
+  Timestamp last_ = 0;
+};
+
+}  // namespace colony

@@ -1,0 +1,92 @@
+#include "clock/version_vector.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace colony {
+
+Timestamp VersionVector::at(DcId dc) const {
+  return dc < v_.size() ? v_[dc] : 0;
+}
+
+void VersionVector::set(DcId dc, Timestamp ts) {
+  if (dc >= v_.size()) v_.resize(dc + 1, 0);
+  v_[dc] = ts;
+}
+
+void VersionVector::merge(const VersionVector& other) {
+  if (other.v_.size() > v_.size()) v_.resize(other.v_.size(), 0);
+  for (std::size_t i = 0; i < other.v_.size(); ++i) {
+    v_[i] = std::max(v_[i], other.v_[i]);
+  }
+}
+
+VersionVector VersionVector::lub(const VersionVector& a,
+                                 const VersionVector& b) {
+  VersionVector out = a;
+  out.merge(b);
+  return out;
+}
+
+bool VersionVector::leq(const VersionVector& other) const {
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    if (v_[i] > other.at(static_cast<DcId>(i))) return false;
+  }
+  return true;
+}
+
+bool VersionVector::lt(const VersionVector& other) const {
+  return leq(other) && !(*this == other) &&
+         // Handle padding: equal up to trailing zeros counts as equal.
+         !other.leq(*this);
+}
+
+bool VersionVector::concurrent_with(const VersionVector& other) const {
+  return !leq(other) && !other.leq(*this);
+}
+
+std::string VersionVector::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(v_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+void VersionVector::encode(Encoder& enc) const {
+  enc.u32(static_cast<std::uint32_t>(v_.size()));
+  for (Timestamp t : v_) enc.u64(t);
+}
+
+VersionVector VersionVector::decode(Decoder& dec) {
+  const std::uint32_t n = dec.u32();
+  VersionVector vv(n);
+  for (std::uint32_t i = 0; i < n; ++i) vv.v_[i] = dec.u64();
+  return vv;
+}
+
+VersionVector k_stable_cut(const std::vector<VersionVector>& dc_states,
+                           std::size_t k) {
+  COLONY_ASSERT(!dc_states.empty(), "k_stable_cut over no DCs");
+  COLONY_ASSERT(k >= 1 && k <= dc_states.size(), "K out of range");
+  std::size_t width = 0;
+  for (const auto& vv : dc_states) width = std::max(width, vv.size());
+
+  VersionVector cut(width);
+  std::vector<Timestamp> column(dc_states.size());
+  for (std::size_t c = 0; c < width; ++c) {
+    for (std::size_t d = 0; d < dc_states.size(); ++d) {
+      column[d] = dc_states[d].at(static_cast<DcId>(c));
+    }
+    // K-th largest: sort descending, take index k-1.
+    std::nth_element(column.begin(), column.begin() + static_cast<long>(k - 1),
+                     column.end(), std::greater<>());
+    cut.set(static_cast<DcId>(c), column[k - 1]);
+  }
+  return cut;
+}
+
+}  // namespace colony

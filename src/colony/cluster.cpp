@@ -1,0 +1,108 @@
+#include "colony/cluster.hpp"
+
+#include "util/assert.hpp"
+
+namespace colony {
+
+namespace {
+// Node-id layout: DCs at 1..N, their shards at 100*dc + 101.., everything
+// else allocated from 10'000 upwards.
+constexpr NodeId kDcBase = 1;
+constexpr NodeId kShardBase = 100;
+}  // namespace
+
+NodeId Cluster::dc_node_id(DcId id) const { return kDcBase + id; }
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(config), net_(sched_, config.seed) {
+  COLONY_ASSERT(config_.num_dcs >= 1 && config_.num_dcs <= 16,
+                "supported core sizes: 1..16 DCs");
+  COLONY_ASSERT(config_.k_stability >= 1 &&
+                    config_.k_stability <= config_.num_dcs,
+                "K out of range");
+
+  // Shard servers first (DC constructors expect them linked).
+  std::vector<std::vector<NodeId>> shard_ids(config_.num_dcs);
+  for (DcId d = 0; d < config_.num_dcs; ++d) {
+    for (std::size_t s = 0; s < config_.shards_per_dc; ++s) {
+      const NodeId sid = kShardBase * (d + 1) + 1 + s;
+      shards_.push_back(std::make_unique<ShardServer>(net_, sid));
+      shard_ids[d].push_back(sid);
+      net_.connect(dc_node_id(d), sid, config_.intra_dc);
+    }
+  }
+
+  for (DcId d = 0; d < config_.num_dcs; ++d) {
+    std::vector<NodeId> peers;
+    for (DcId other = 0; other < config_.num_dcs; ++other) {
+      if (other != d) peers.push_back(dc_node_id(other));
+    }
+    DcConfig dc_config;
+    dc_config.dc_id = d;
+    dc_config.num_dcs = config_.num_dcs;
+    dc_config.k_stability = config_.k_stability;
+    dc_config.gossip_interval = config_.dc_gossip_interval;
+    dc_config.rpc_service_time = config_.dc_rpc_service_time;
+    dc_config.push_service_time = config_.dc_push_service_time;
+    dcs_.push_back(std::make_unique<DcNode>(net_, dc_node_id(d), dc_config,
+                                            std::move(peers), shard_ids[d]));
+  }
+
+  // Full DC mesh.
+  for (DcId a = 0; a < config_.num_dcs; ++a) {
+    for (DcId b = a + 1; b < config_.num_dcs; ++b) {
+      net_.connect(dc_node_id(a), dc_node_id(b), config_.inter_dc);
+    }
+  }
+}
+
+EdgeNode& Cluster::add_edge(ClientMode mode, DcId dc, UserId user,
+                            std::size_t cache_capacity) {
+  const NodeId id = next_node_id_++;
+  EdgeConfig cfg;
+  cfg.mode = mode;
+  cfg.dc = dc_node_id(dc);
+  cfg.user = user;
+  cfg.num_dcs = config_.num_dcs;
+  cfg.cache_capacity = cache_capacity;
+  edges_.push_back(std::make_unique<EdgeNode>(net_, id, cfg));
+  for (DcId d = 0; d < config_.num_dcs; ++d) {
+    net_.connect(id, dc_node_id(d), config_.edge_uplink);
+  }
+  return *edges_.back();
+}
+
+PeerGroupParent& Cluster::add_group_parent(DcId dc) {
+  const NodeId id = next_node_id_++;
+  GroupParentConfig cfg;
+  cfg.dc = dc_node_id(dc);
+  cfg.num_dcs = config_.num_dcs;
+  parents_.push_back(std::make_unique<PeerGroupParent>(net_, id, cfg));
+  for (DcId d = 0; d < config_.num_dcs; ++d) {
+    net_.connect(id, dc_node_id(d), config_.pop_uplink);
+  }
+  return *parents_.back();
+}
+
+void Cluster::wire_peer_links(const std::vector<NodeId>& nodes) {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      if (!net_.link_exists(nodes[i], nodes[j])) {
+        net_.connect(nodes[i], nodes[j], config_.peer_link);
+      }
+    }
+  }
+}
+
+void Cluster::set_uplink(NodeId node, DcId dc, bool up) {
+  net_.set_link_up(node, dc_node_id(dc), up);
+}
+
+void Cluster::set_peer_links(NodeId node, const std::vector<NodeId>& peers,
+                             bool up) {
+  for (const NodeId peer : peers) {
+    if (peer != node) net_.set_link_up(node, peer, up);
+  }
+}
+
+}  // namespace colony

@@ -1,0 +1,93 @@
+// Cluster: the topology builder and owner of a simulated Colony deployment.
+//
+// Mirrors Figure 1: a small core of DCs in a full mesh (each with its shard
+// servers), border nodes (peer-group parents on PoPs), and far-edge client
+// nodes hanging off DCs or groups. All actors, links, and the scheduler are
+// owned here; experiments drive the scheduler and inspect the nodes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dc/dc_node.hpp"
+#include "dc/shard.hpp"
+#include "edge/edge_node.hpp"
+#include "group/peer_group.hpp"
+#include "sim/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace colony {
+
+struct ClusterConfig {
+  std::size_t num_dcs = 1;
+  std::size_t shards_per_dc = 4;
+  std::size_t k_stability = 1;
+  std::uint64_t seed = 42;
+  /// Latency classes (defaults are the paper's constants, section 7.2).
+  sim::LatencyModel inter_dc = sim::latency::kInterDc;
+  sim::LatencyModel intra_dc = sim::latency::kIntraDc;
+  sim::LatencyModel edge_uplink = sim::latency::kCellular;
+  sim::LatencyModel pop_uplink = sim::latency::kCarrierEthernet;
+  sim::LatencyModel peer_link = sim::latency::kPeerLink;
+  /// Forwarded into every DcConfig (service model, gossip cadence).
+  SimTime dc_gossip_interval = 100 * kMillisecond;
+  SimTime dc_rpc_service_time = 150 * kMicrosecond;
+  SimTime dc_push_service_time = 15 * kMicrosecond;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  // Non-copyable, non-movable: actors hold references into the cluster.
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // --- topology construction ----------------------------------------------
+
+  /// Create an edge client attached to DC `dc` (link wired to every DC so
+  /// migration is possible). Returns a stable reference.
+  EdgeNode& add_edge(ClientMode mode, DcId dc, UserId user,
+                     std::size_t cache_capacity = 0);
+
+  /// Create a peer-group parent on a border PoP attached to DC `dc`.
+  PeerGroupParent& add_group_parent(DcId dc);
+
+  /// Wire peer links among a set of nodes (group members and parent).
+  void wire_peer_links(const std::vector<NodeId>& nodes);
+
+  // --- access ---------------------------------------------------------------
+
+  [[nodiscard]] std::size_t num_dcs() const { return config_.num_dcs; }
+  DcNode& dc(DcId id) { return *dcs_.at(id); }
+  [[nodiscard]] NodeId dc_node_id(DcId id) const;
+  sim::Scheduler& scheduler() { return sched_; }
+  sim::Network& network() { return net_; }
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+
+  // --- execution -------------------------------------------------------------
+
+  void run_for(SimTime duration) { sched_.run_until(sched_.now() + duration); }
+  void run_until(SimTime deadline) { sched_.run_until(deadline); }
+  [[nodiscard]] SimTime now() const { return sched_.now(); }
+
+  // --- failure injection -----------------------------------------------------
+
+  /// Cut / restore the uplink between a node and a DC (figures 5 & 6).
+  void set_uplink(NodeId node, DcId dc, bool up);
+  /// Cut / restore the links between a node and a set of peers.
+  void set_peer_links(NodeId node, const std::vector<NodeId>& peers, bool up);
+
+ private:
+  ClusterConfig config_;
+  sim::Scheduler sched_;
+  sim::Network net_;
+
+  std::vector<std::unique_ptr<ShardServer>> shards_;
+  std::vector<std::unique_ptr<DcNode>> dcs_;
+  std::vector<std::unique_ptr<EdgeNode>> edges_;
+  std::vector<std::unique_ptr<PeerGroupParent>> parents_;
+  NodeId next_node_id_ = 10'000;
+};
+
+}  // namespace colony

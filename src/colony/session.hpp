@@ -1,0 +1,133 @@
+// Session: the typed programming interface of Figure 3, over an EdgeNode.
+//
+// A session wraps one edge client. Transactions are interactive: reads are
+// asynchronous (cache hits call back synchronously; misses fetch from the
+// peer group or the DC), updates are buffered and committed atomically.
+// Read-modify operations (set remove, sequence append) prepare against the
+// node's cached state; read the object first if it may not be cached.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "edge/edge_node.hpp"
+#include "security/acl.hpp"
+
+namespace colony {
+
+class Session {
+ public:
+  explicit Session(EdgeNode& node) : node_(node) {}
+
+  using Txn = EdgeNode::Txn;
+  using ReadSourceCb = std::function<void(ReadSource)>;
+
+  Txn begin() { return node_.begin(); }
+  Result<Dot> commit(Txn&& txn) { return node_.commit(std::move(txn)); }
+  void commit_ordered(Txn&& txn, EdgeNode::CommitCb cb) {
+    node_.commit_ordered(std::move(txn), std::move(cb));
+  }
+
+  // --- typed reads -----------------------------------------------------------
+
+  void read_counter(Txn& txn, const ObjectKey& key,
+                    std::function<void(Result<std::int64_t>, ReadSource)> cb);
+  void read_register(Txn& txn, const ObjectKey& key,
+                     std::function<void(Result<std::string>, ReadSource)> cb);
+  void read_set(Txn& txn, const ObjectKey& key,
+                std::function<void(Result<std::vector<std::string>>,
+                                   ReadSource)> cb);
+  void read_sequence(Txn& txn, const ObjectKey& key,
+                     std::function<void(Result<std::vector<std::string>>,
+                                        ReadSource)> cb);
+  /// Generic escape hatch: a private copy of any object.
+  void read_object(Txn& txn, const ObjectKey& key, CrdtType type,
+                   EdgeNode::ReadCb cb) {
+    node_.read(txn, key, type, std::move(cb));
+  }
+
+  /// Versioned read (section 4.1): the cached object as of an older cut.
+  [[nodiscard]] std::unique_ptr<Crdt> read_version(
+      const ObjectKey& key, const VersionVector& cut) const {
+    return node_.read_at(key, cut);
+  }
+
+  /// Reactive subscription (section 6.1): fire on visible updates to key.
+  std::uint64_t watch(const ObjectKey& key, EdgeNode::WatchCb cb) {
+    return node_.watch(key, std::move(cb));
+  }
+  void unwatch(std::uint64_t handle) { node_.unwatch(handle); }
+
+  /// Run a resource-hungry transaction in the core cloud (section 3.9).
+  void migrate_transaction(std::vector<ObjectKey> reads,
+                           std::vector<OpRecord> updates,
+                           EdgeNode::CloudCb cb) {
+    node_.migrate_transaction(std::move(reads), std::move(updates),
+                              std::move(cb));
+  }
+
+  // --- typed updates (buffered into the transaction) -------------------------
+
+  void increment(Txn& txn, const ObjectKey& key, std::int64_t delta = 1);
+  void assign(Txn& txn, const ObjectKey& key, const std::string& value);
+  void add_to_set(Txn& txn, const ObjectKey& key, const std::string& element);
+  /// Observed-remove against the node's cached tags.
+  void remove_from_set(Txn& txn, const ObjectKey& key,
+                       const std::string& element);
+  /// Append to a sequence (after the cached last element).
+  void append(Txn& txn, const ObjectKey& key, const std::string& value);
+  /// Nested gmap updates: map.field := register / set.
+  void map_assign(Txn& txn, const ObjectKey& map_key, const std::string& field,
+                  const std::string& value);
+  void map_add_to_set(Txn& txn, const ObjectKey& map_key,
+                      const std::string& field, const std::string& element);
+
+  // --- end-to-end sealed objects (section 2.4) -------------------------------
+
+  /// Buffer an update to an end-to-end encrypted object: the cloud will
+  /// replicate ciphertext it cannot read. Requires a session key for the
+  /// bucket (open_session). `inner_type`/`inner` describe the plaintext
+  /// CRDT operation. Returns false if no key is held.
+  bool sealed_update(Txn& txn, const ObjectKey& key, CrdtType inner_type,
+                     const Bytes& inner);
+
+  /// Decrypt the cached sealed object into the real CRDT; nullopt if the
+  /// object is not cached, the key is missing/wrong, or entries were
+  /// tampered with.
+  [[nodiscard]] std::optional<std::unique_ptr<Crdt>> sealed_read(
+      const ObjectKey& key, CrdtType inner_type) const;
+
+  void open_session(std::vector<std::string> buckets, EdgeNode::DoneCb done) {
+    node_.open_session(std::move(buckets), std::move(done));
+  }
+
+  // --- access control ---------------------------------------------------------
+
+  void grant(Txn& txn, const security::AclTuple& tuple);
+  void revoke(Txn& txn, const security::AclTuple& tuple);
+  void set_object_parent(Txn& txn, const std::string& object,
+                         const std::string& parent);
+  void set_user_parent(Txn& txn, UserId user, UserId parent);
+
+  // --- session-level operations ------------------------------------------------
+
+  void subscribe(std::vector<ObjectKey> keys, EdgeNode::DoneCb done) {
+    node_.subscribe(std::move(keys), std::move(done));
+  }
+  void join_group(NodeId parent, EdgeNode::DoneCb done) {
+    node_.join_group(parent, std::move(done));
+  }
+  void leave_group(EdgeNode::DoneCb done) {
+    node_.leave_group(std::move(done));
+  }
+
+  EdgeNode& node() { return node_; }
+  [[nodiscard]] const EdgeNode& node() const { return node_; }
+
+ private:
+  EdgeNode& node_;
+};
+
+}  // namespace colony

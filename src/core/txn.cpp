@@ -1,0 +1,175 @@
+#include "core/txn.hpp"
+
+#include "util/assert.hpp"
+
+namespace colony {
+
+void OpRecord::encode(Encoder& enc) const {
+  enc.str(key.bucket);
+  enc.str(key.name);
+  enc.u8(static_cast<std::uint8_t>(type));
+  enc.bytes(payload);
+}
+
+OpRecord OpRecord::decode(Decoder& dec) {
+  OpRecord op;
+  op.key.bucket = dec.str();
+  op.key.name = dec.str();
+  op.type = static_cast<CrdtType>(dec.u8());
+  op.payload = dec.bytes();
+  return op;
+}
+
+void TxnMeta::encode(Encoder& enc) const {
+  dot.encode(enc);
+  enc.u64(origin);
+  enc.u64(user);
+  snapshot.encode(enc);
+  enc.u32(static_cast<std::uint32_t>(pending_deps.size()));
+  for (const Dot& dep : pending_deps) dep.encode(enc);
+  enc.boolean(concrete);
+  commit.encode(enc);
+  enc.u32(accepted_mask);
+}
+
+TxnMeta TxnMeta::decode(Decoder& dec) {
+  TxnMeta m;
+  m.dot = Dot::decode(dec);
+  m.origin = dec.u64();
+  m.user = dec.u64();
+  m.snapshot = VersionVector::decode(dec);
+  const std::uint32_t n = dec.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    m.pending_deps.push_back(Dot::decode(dec));
+  }
+  m.concrete = dec.boolean();
+  m.commit = VersionVector::decode(dec);
+  m.accepted_mask = dec.u32();
+  return m;
+}
+
+void Transaction::encode(Encoder& enc) const {
+  meta.encode(enc);
+  enc.u32(static_cast<std::uint32_t>(ops.size()));
+  for (const OpRecord& op : ops) op.encode(enc);
+}
+
+Transaction Transaction::decode(Decoder& dec) {
+  Transaction txn;
+  txn.meta = TxnMeta::decode(dec);
+  const std::uint32_t n = dec.u32();
+  txn.ops.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    txn.ops.push_back(OpRecord::decode(dec));
+  }
+  return txn;
+}
+
+Bytes Transaction::to_bytes() const {
+  Encoder enc;
+  encode(enc);
+  return enc.take();
+}
+
+Transaction Transaction::from_bytes(const Bytes& bytes) {
+  Decoder dec(bytes);
+  return decode(dec);
+}
+
+VersionVector TxnMeta::commit_vector_via(DcId dc) const {
+  COLONY_ASSERT(accepted_by(dc), "no commit timestamp for this DC");
+  VersionVector v = snapshot;
+  v.set(dc, commit.at(dc));
+  return v;
+}
+
+VersionVector TxnMeta::commit_lub() const {
+  VersionVector v = snapshot;
+  for (DcId dc = 0; dc < 32; ++dc) {
+    if (accepted_by(dc)) v.set(dc, commit.at(dc));
+  }
+  return v;
+}
+
+bool TxnStore::add(Transaction txn) {
+  auto it = txns_.find(txn.meta.dot);
+  if (it != txns_.end()) {
+    // Duplicate delivery: merge commit knowledge, keep existing ops.
+    TxnMeta& existing = it->second.meta;
+    for (DcId dc = 0; dc < 32; ++dc) {
+      if (txn.meta.accepted_by(dc) && !existing.accepted_by(dc)) {
+        existing.mark_accepted(dc, txn.meta.commit.at(dc));
+      }
+    }
+    // A concrete copy also carries the DC-resolved snapshot; adopt it so
+    // pending deps disappear.
+    if (txn.meta.concrete && !existing.pending_deps.empty() &&
+        txn.meta.pending_deps.empty()) {
+      existing.snapshot = txn.meta.snapshot;
+      existing.pending_deps.clear();
+    }
+    return false;
+  }
+  txns_.emplace(txn.meta.dot, std::move(txn));
+  return true;
+}
+
+const Transaction* TxnStore::find(const Dot& dot) const {
+  const auto it = txns_.find(dot);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+Transaction* TxnStore::find_mutable(const Dot& dot) {
+  const auto it = txns_.find(dot);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+void TxnStore::resolve(const Dot& dot, DcId dc, Timestamp ts) {
+  Transaction* txn = find_mutable(dot);
+  COLONY_ASSERT(txn != nullptr, "resolving unknown transaction");
+  txn->meta.mark_accepted(dc, ts);
+}
+
+bool TxnStore::effective_snapshot(const Dot& dot, VersionVector& out) const {
+  const Transaction* txn = find(dot);
+  if (txn == nullptr) return false;
+  out = txn->meta.snapshot;
+  for (const Dot& dep : txn->meta.pending_deps) {
+    const Transaction* d = find(dep);
+    if (d == nullptr || !d->meta.concrete) return false;
+    out.merge(d->meta.commit_lub());
+  }
+  return true;
+}
+
+bool TxnStore::visible_at(const Dot& dot, const VersionVector& cut) const {
+  const Transaction* txn = find(dot);
+  if (txn == nullptr || !txn->meta.concrete) return false;
+  const TxnMeta& m = txn->meta;
+  for (DcId dc = 0; dc < 32; ++dc) {
+    if (!m.accepted_by(dc)) continue;
+    if (m.commit.at(dc) > cut.at(dc)) continue;
+    // Snapshot components other than dc must also be within the cut.
+    bool ok = true;
+    for (DcId c = 0; c < static_cast<DcId>(cut.size()) ||
+                     c < static_cast<DcId>(m.snapshot.size());
+         ++c) {
+      if (c == dc) continue;
+      if (m.snapshot.at(c) > cut.at(c)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+std::vector<Dot> TxnStore::all_dots() const {
+  std::vector<Dot> out;
+  out.reserve(txns_.size());
+  for (const auto& [dot, _] : txns_) out.push_back(dot);
+  return out;
+}
+
+}  // namespace colony

@@ -1,0 +1,222 @@
+#include "core/visibility.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace colony {
+
+VisibilityEngine::VisibilityEngine(TxnStore& txns, JournalStore& store,
+                                   std::size_t num_dcs)
+    : txns_(txns), store_(store), state_(num_dcs) {}
+
+namespace {
+
+/// Does `txn` causally depend on masked transaction `m` in a way that
+/// makes its values untrustworthy? Vector metadata only gives a
+/// conservative happened-before; masking *everything* after a masked
+/// transaction would freeze the system, so we propagate along real
+/// data-flow channels: the dependant was issued by the same origin (it
+/// built on its own masked state) or touches an object the masked
+/// transaction wrote (it read the masked value).
+bool masked_dependency(const Transaction& txn, const Transaction& m) {
+  if (txn.meta.origin == m.meta.origin) return true;
+  for (const OpRecord& a : txn.ops) {
+    for (const OpRecord& b : m.ops) {
+      if (a.key == b.key) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool VisibilityEngine::ingest(Transaction txn) {
+  const Dot dot = txn.meta.dot;
+  const bool fresh = txns_.add(std::move(txn));
+  if (fresh) pending_.push_back(dot);
+  drain();
+  return fresh;
+}
+
+void VisibilityEngine::resolve(const Dot& dot, DcId dc, Timestamp ts) {
+  if (!txns_.contains(dot)) return;
+  txns_.resolve(dot, dc, ts);
+  if (applied_.contains(dot)) {
+    // Already visible locally (read-my-writes fast path): the state vector
+    // may now advance past its concrete commit point.
+    state_.merge(txns_.find(dot)->meta.commit_lub());
+  }
+  drain();
+}
+
+void VisibilityEngine::resolve_full(const Dot& dot, DcId dc, Timestamp ts,
+                                    const VersionVector& resolved_snapshot) {
+  Transaction* txn = txns_.find_mutable(dot);
+  if (txn == nullptr) return;
+  txn->meta.snapshot = resolved_snapshot;
+  txn->meta.pending_deps.clear();
+  txn->meta.mark_accepted(dc, ts);
+  if (applied_.contains(dot)) {
+    state_.merge(txn->meta.commit_lub());
+  }
+  drain();
+}
+
+bool VisibilityEngine::apply_causal(const Dot& dot) {
+  const Transaction* txn = txns_.find(dot);
+  COLONY_ASSERT(txn != nullptr, "apply_causal of unknown transaction");
+  if (applied_.contains(dot)) return true;
+  if (!txn->meta.snapshot.leq(state_)) return false;
+  for (const Dot& dep : txn->meta.pending_deps) {
+    if (!applied_.contains(dep)) return false;
+  }
+  apply_local(dot);
+  return true;
+}
+
+void VisibilityEngine::apply_ops(const Transaction& txn, bool masked) {
+  for (const OpRecord& op : txn.ops) {
+    if (key_filter_ != nullptr && !key_filter_(op.key)) continue;
+    store_.apply(op.key, op.type, txn.meta.dot, op.payload, masked);
+  }
+}
+
+bool VisibilityEngine::try_apply(const Dot& dot) {
+  const Transaction* txn = txns_.find(dot);
+  COLONY_ASSERT(txn != nullptr, "pending dot without transaction record");
+  if (applied_.contains(dot)) return true;  // e.g. applied locally earlier
+  if (!txn->meta.concrete) return false;
+
+  VersionVector eff;
+  if (!txns_.effective_snapshot(dot, eff)) return false;
+  if (!eff.leq(state_)) return false;
+
+  bool masked =
+      security_check_ != nullptr && !security_check_(*txn);
+  if (!masked) {
+    // Transitive masking (paper sections 2.4 / 5.3): a transaction that
+    // causally follows a masked one AND depends on it through a data-flow
+    // channel is masked as well.
+    for (const Dot& m : masked_) {
+      const Transaction* masked_txn = txns_.find(m);
+      if (masked_txn != nullptr && txns_.visible_at(m, eff) &&
+          masked_dependency(*txn, *masked_txn)) {
+        masked = true;
+        break;
+      }
+    }
+  }
+
+  apply_ops(*txn, masked);
+  applied_.insert(dot);
+  if (masked) masked_.insert(dot);
+  log_.append(dot);
+  state_.merge(txn->meta.commit_lub());
+  if (visible_hook_ != nullptr && !masked) visible_hook_(*txn);
+  return true;
+}
+
+void VisibilityEngine::drain() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (try_apply(*it)) {
+        it = pending_.erase(it);
+        progress = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void VisibilityEngine::apply_local(const Dot& dot) {
+  const Transaction* txn = txns_.find(dot);
+  COLONY_ASSERT(txn != nullptr, "apply_local of unknown transaction");
+  if (applied_.contains(dot)) return;
+  const bool masked =
+      security_check_ != nullptr && !security_check_(*txn);
+  apply_ops(*txn, masked);
+  applied_.insert(dot);
+  if (masked) masked_.insert(dot);
+  log_.append(dot);
+  if (txn->meta.concrete) state_.merge(txn->meta.commit_lub());
+  if (visible_hook_ != nullptr && !masked) visible_hook_(*txn);
+}
+
+std::size_t VisibilityEngine::recompute_masks() {
+  std::unordered_set<Dot> new_masked;
+  std::unordered_set<Dot> flipped;
+
+  for (const Dot& dot : log_.entries()) {
+    const Transaction* txn = txns_.find(dot);
+    COLONY_ASSERT(txn != nullptr, "visibility log references unknown txn");
+    const bool is_policy_txn =
+        std::any_of(txn->ops.begin(), txn->ops.end(),
+                    [&](const OpRecord& op) { return op.key == policy_key_; });
+    bool masked = is_policy_txn
+                      ? masked_.contains(dot)
+                      : security_check_ != nullptr && !security_check_(*txn);
+    if (!masked && !is_policy_txn) {
+      VersionVector eff;
+      if (txns_.effective_snapshot(dot, eff)) {
+        for (const Dot& m : new_masked) {
+          const Transaction* masked_txn = txns_.find(m);
+          if (masked_txn != nullptr && txns_.visible_at(m, eff) &&
+              masked_dependency(*txn, *masked_txn)) {
+            masked = true;
+            break;
+          }
+        }
+      }
+    }
+    if (masked) new_masked.insert(dot);
+    const bool was = masked_.contains(dot);
+    if (was != masked) flipped.insert(dot);
+  }
+
+  if (flipped.empty()) return 0;
+  masked_ = std::move(new_masked);
+
+  // Rebuild the current value of every object touched by a flipped txn.
+  std::vector<ObjectKey> to_rebuild;
+  for (const Dot& dot : flipped) {
+    const Transaction* txn = txns_.find(dot);
+    for (const OpRecord& op : txn->ops) to_rebuild.push_back(op.key);
+  }
+  std::sort(to_rebuild.begin(), to_rebuild.end());
+  to_rebuild.erase(std::unique(to_rebuild.begin(), to_rebuild.end()),
+                   to_rebuild.end());
+  const auto visible = visible_predicate();
+  for (const ObjectKey& key : to_rebuild) {
+    store_.rebuild_current(key, visible);
+  }
+  return flipped.size();
+}
+
+void VisibilityEngine::reapply_missing(const ObjectKey& key,
+                                       const ObjectSnapshot& snap) {
+  const std::unordered_set<Dot> in_snapshot(snap.applied.begin(),
+                                            snap.applied.end());
+  for (const Dot& dot : log_.entries()) {
+    if (in_snapshot.contains(dot)) continue;
+    const Transaction* txn = txns_.find(dot);
+    if (txn == nullptr) continue;
+    const bool masked = masked_.contains(dot);
+    for (const OpRecord& op : txn->ops) {
+      if (op.key == key) {
+        store_.apply(op.key, op.type, dot, op.payload, masked);
+      }
+    }
+  }
+}
+
+JournalStore::DotPredicate VisibilityEngine::visible_predicate() const {
+  return [this](const Dot& dot) {
+    return applied_.contains(dot) && !masked_.contains(dot);
+  };
+}
+
+}  // namespace colony

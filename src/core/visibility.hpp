@@ -1,0 +1,129 @@
+// The visibility engine: causal application of transactions at a replica.
+//
+// This is the paper's "visibility layer" (sections 3, 4): the backend
+// (TxnStore) may hold transactions in any order; the engine decides when a
+// transaction may become visible — all causal dependencies visible, commit
+// concrete — and folds its operations into the journal store, appends it to
+// the visibility log, and advances the replica's state vector. Transactions
+// whose dependencies are missing wait in a pending buffer.
+//
+// A security hook can veto visibility of a transaction's *values* (ACL
+// masking, sections 5.3/6.4): a masked transaction is still delivered and
+// still advances metadata, but its operations are excluded from
+// materialised values, transitively with its causal dependants.
+#pragma once
+
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "core/txn.hpp"
+#include "core/txn_log.hpp"
+#include "storage/journal_store.hpp"
+
+namespace colony {
+
+class VisibilityEngine {
+ public:
+  /// Returns true when the transaction's values may be shown (ACL pass).
+  using SecurityCheck = std::function<bool(const Transaction&)>;
+  /// Notified for every transaction that becomes visible (reactive
+  /// subscriptions, replication fan-out).
+  using VisibleHook = std::function<void(const Transaction&)>;
+  /// Which object keys this replica materialises. Edge caches track only
+  /// their interest set: ops on other keys are skipped (the transaction
+  /// still counts as applied; reapply_missing repairs the gap if the key
+  /// is fetched later). Replicas without a filter keep everything.
+  using KeyFilter = std::function<bool(const ObjectKey&)>;
+
+  VisibilityEngine(TxnStore& txns, JournalStore& store, std::size_t num_dcs);
+
+  /// Ingest a transaction learned from the network or committed locally.
+  /// Returns true if it was new (not a duplicate dot).
+  bool ingest(Transaction txn);
+
+  /// Merge resolution info (a DC assigned dot's commit timestamp), then try
+  /// to drain the pending buffer.
+  void resolve(const Dot& dot, DcId dc, Timestamp ts);
+
+  /// Full resolution as carried by a DC commit acknowledgement: install the
+  /// DC-resolved concrete snapshot (clearing symbolic pending deps) plus
+  /// the commit timestamp — the Fig. 2 step-8 "fill in [α,β,γ]".
+  void resolve_full(const Dot& dot, DcId dc, Timestamp ts,
+                    const VersionVector& resolved_snapshot);
+
+  /// Apply a transaction in an externally-agreed order (peer-group SI
+  /// order, section 5.1.4): requires the concrete part of its snapshot to
+  /// be covered by the local state and its same-origin pending deps to be
+  /// applied locally, but not a concrete commit vector. Returns false if
+  /// those causal prerequisites are not met yet.
+  bool apply_causal(const Dot& dot);
+
+  /// Try to apply pending transactions; call after any state change.
+  void drain();
+
+  /// Force-apply a locally committed transaction before its commit vector
+  /// is concrete (read-my-writes, section 3.8): its values enter the cache
+  /// immediately; the state vector advances only once it resolves.
+  void apply_local(const Dot& dot);
+
+  [[nodiscard]] const VersionVector& state_vector() const { return state_; }
+  [[nodiscard]] const VisibilityLog& log() const { return log_; }
+  [[nodiscard]] bool is_applied(const Dot& dot) const {
+    return applied_.contains(dot);
+  }
+  [[nodiscard]] bool is_masked(const Dot& dot) const {
+    return masked_.contains(dot);
+  }
+  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+
+  void set_security_check(SecurityCheck check) {
+    security_check_ = std::move(check);
+  }
+
+  /// Key of the policy object itself. Transactions touching it keep their
+  /// at-apply mask decision during recompute_masks: re-judging an
+  /// administrative change under the policy it created would let a
+  /// bootstrap grant mask itself.
+  void set_policy_key(ObjectKey key) { policy_key_ = std::move(key); }
+  void set_visible_hook(VisibleHook hook) { visible_hook_ = std::move(hook); }
+  void set_key_filter(KeyFilter filter) { key_filter_ = std::move(filter); }
+
+  /// Seed the state vector (e.g. from an initial checkout).
+  void seed_state(const VersionVector& v) { state_.merge(v); }
+
+  /// Re-evaluate the security mask over the whole history (after an ACL
+  /// change) and rebuild affected objects' current values. Returns the
+  /// number of transactions whose mask flipped.
+  std::size_t recompute_masks();
+
+  /// Predicate for JournalStore::materialize: applied and not masked.
+  [[nodiscard]] JournalStore::DotPredicate visible_predicate() const;
+
+  /// After importing a fetched snapshot of `key`, re-apply the operations
+  /// of locally-applied transactions the snapshot does not contain (in
+  /// local visibility order). Without this, evicting an object and
+  /// re-fetching an older (K-stable) version would silently lose local
+  /// context the node has already observed — and a later operation
+  /// depending on it (e.g. an RGA insert after a lost element) could not
+  /// be replayed.
+  void reapply_missing(const ObjectKey& key, const ObjectSnapshot& snap);
+
+ private:
+  bool try_apply(const Dot& dot);
+  void apply_ops(const Transaction& txn, bool masked);
+
+  TxnStore& txns_;
+  JournalStore& store_;
+  VersionVector state_;
+  VisibilityLog log_;
+  std::unordered_set<Dot> applied_;
+  std::unordered_set<Dot> masked_;
+  std::vector<Dot> pending_;
+  SecurityCheck security_check_;
+  VisibleHook visible_hook_;
+  KeyFilter key_filter_;
+  ObjectKey policy_key_;
+};
+
+}  // namespace colony

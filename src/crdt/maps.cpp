@@ -1,0 +1,193 @@
+#include "crdt/maps.hpp"
+
+#include "util/assert.hpp"
+
+namespace colony {
+
+GMap::GMap(const GMap& other) {
+  for (const auto& [name, value] : other.entries_) {
+    entries_.emplace(name, value->clone());
+  }
+}
+
+Bytes GMap::prepare_update(const std::string& field, CrdtType nested,
+                           const Bytes& nested_op) {
+  Encoder enc;
+  enc.str(field);
+  enc.u8(static_cast<std::uint8_t>(nested));
+  enc.bytes(nested_op);
+  return enc.take();
+}
+
+void GMap::apply(const Bytes& op) {
+  Decoder dec(op);
+  std::string field = dec.str();
+  const auto nested = static_cast<CrdtType>(dec.u8());
+  const Bytes nested_op = dec.bytes();
+
+  auto it = entries_.find(field);
+  if (it == entries_.end()) {
+    it = entries_.emplace(std::move(field), make_crdt(nested)).first;
+  }
+  COLONY_ASSERT(it->second->type() == nested,
+                "GMap field updated with mismatched CRDT type");
+  it->second->apply(nested_op);
+}
+
+Bytes GMap::snapshot() const {
+  Encoder enc;
+  enc.u32(static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& [name, value] : entries_) {
+    enc.str(name);
+    enc.u8(static_cast<std::uint8_t>(value->type()));
+    enc.bytes(value->snapshot());
+  }
+  return enc.take();
+}
+
+void GMap::restore(const Bytes& snapshot) {
+  entries_.clear();
+  Decoder dec(snapshot);
+  const std::uint32_t n = dec.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string name = dec.str();
+    const auto nested = static_cast<CrdtType>(dec.u8());
+    auto value = make_crdt(nested);
+    value->restore(dec.bytes());
+    entries_.emplace(std::move(name), std::move(value));
+  }
+}
+
+std::unique_ptr<Crdt> GMap::clone() const {
+  return std::make_unique<GMap>(*this);
+}
+
+const Crdt* GMap::field(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> GMap::fields() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, _] : entries_) out.push_back(name);
+  return out;
+}
+
+AwMap::AwMap(const AwMap& other) {
+  for (const auto& [name, entry] : other.entries_) {
+    entries_.emplace(name, Entry{entry.value->clone(), entry.presence});
+  }
+}
+
+Bytes AwMap::prepare_update(const std::string& field, CrdtType nested,
+                            const Bytes& nested_op, const Dot& dot) {
+  Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(OpKind::kUpdate));
+  enc.str(field);
+  enc.u8(static_cast<std::uint8_t>(nested));
+  enc.bytes(nested_op);
+  dot.encode(enc);
+  return enc.take();
+}
+
+Bytes AwMap::prepare_remove(const std::string& field) const {
+  Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(OpKind::kRemove));
+  enc.str(field);
+  const auto it = entries_.find(field);
+  if (it == entries_.end()) {
+    enc.u32(0);
+  } else {
+    enc.u32(static_cast<std::uint32_t>(it->second.presence.size()));
+    for (const Dot& tag : it->second.presence) tag.encode(enc);
+  }
+  return enc.take();
+}
+
+void AwMap::apply(const Bytes& op) {
+  Decoder dec(op);
+  const auto kind = static_cast<OpKind>(dec.u8());
+  std::string field = dec.str();
+  switch (kind) {
+    case OpKind::kUpdate: {
+      const auto nested = static_cast<CrdtType>(dec.u8());
+      const Bytes nested_op = dec.bytes();
+      const Dot dot = Dot::decode(dec);
+      auto it = entries_.find(field);
+      if (it == entries_.end()) {
+        it = entries_.emplace(std::move(field), Entry{make_crdt(nested), {}})
+                 .first;
+      }
+      COLONY_ASSERT(it->second.value->type() == nested,
+                    "AwMap field updated with mismatched CRDT type");
+      it->second.value->apply(nested_op);
+      it->second.presence.insert(dot);
+      break;
+    }
+    case OpKind::kRemove: {
+      const auto it = entries_.find(field);
+      const std::uint32_t n = dec.u32();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const Dot tag = Dot::decode(dec);
+        if (it != entries_.end()) it->second.presence.erase(tag);
+      }
+      break;
+    }
+  }
+}
+
+Bytes AwMap::snapshot() const {
+  Encoder enc;
+  enc.u32(static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& [name, entry] : entries_) {
+    enc.str(name);
+    enc.u8(static_cast<std::uint8_t>(entry.value->type()));
+    enc.bytes(entry.value->snapshot());
+    enc.u32(static_cast<std::uint32_t>(entry.presence.size()));
+    for (const Dot& tag : entry.presence) tag.encode(enc);
+  }
+  return enc.take();
+}
+
+void AwMap::restore(const Bytes& snapshot) {
+  entries_.clear();
+  Decoder dec(snapshot);
+  const std::uint32_t n = dec.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string name = dec.str();
+    const auto nested = static_cast<CrdtType>(dec.u8());
+    Entry entry{make_crdt(nested), {}};
+    entry.value->restore(dec.bytes());
+    const std::uint32_t m = dec.u32();
+    for (std::uint32_t j = 0; j < m; ++j) {
+      entry.presence.insert(Dot::decode(dec));
+    }
+    entries_.emplace(std::move(name), std::move(entry));
+  }
+}
+
+std::unique_ptr<Crdt> AwMap::clone() const {
+  return std::make_unique<AwMap>(*this);
+}
+
+bool AwMap::present(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it != entries_.end() && !it->second.presence.empty();
+}
+
+const Crdt* AwMap::field(const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.presence.empty()) return nullptr;
+  return it->second.value.get();
+}
+
+std::vector<std::string> AwMap::fields() const {
+  std::vector<std::string> out;
+  for (const auto& [name, entry] : entries_) {
+    if (!entry.presence.empty()) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace colony

@@ -1,0 +1,99 @@
+// Map CRDTs holding nested CRDTs under string fields.
+//
+// The paper's API exposes a grow-only map ("gmap", Fig. 3) whose fields are
+// themselves CRDTs (registers, sets, ...). AwMap additionally supports
+// field removal with add-wins semantics.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crdt/crdt.hpp"
+
+namespace colony {
+
+/// Grow-only map: fields are created on first update and never removed.
+class GMap final : public Crdt {
+ public:
+  GMap() = default;
+  GMap(const GMap& other);
+  GMap& operator=(const GMap&) = delete;
+
+  [[nodiscard]] CrdtType type() const override { return CrdtType::kGMap; }
+
+  /// Wrap a nested op for `field` of nested type `nested`.
+  [[nodiscard]] static Bytes prepare_update(const std::string& field,
+                                            CrdtType nested,
+                                            const Bytes& nested_op);
+
+  void apply(const Bytes& op) override;
+  [[nodiscard]] Bytes snapshot() const override;
+  void restore(const Bytes& snapshot) override;
+  [[nodiscard]] std::unique_ptr<Crdt> clone() const override;
+
+  /// Nested object for a field, or nullptr if absent. The returned pointer
+  /// is owned by the map and invalidated by apply/restore.
+  [[nodiscard]] const Crdt* field(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> fields() const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Typed accessor; asserts on type mismatch.
+  template <typename T>
+  [[nodiscard]] const T* field_as(const std::string& name) const {
+    const Crdt* c = field(name);
+    return c == nullptr ? nullptr : dynamic_cast<const T*>(c);
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<Crdt>> entries_;
+};
+
+/// Add-wins map: like GMap plus observed-remove field deletion. A field is
+/// present while it has live presence tags; updates add a tag, removes clear
+/// the observed ones. Nested state is retained across remove/re-add (the
+/// "keep value" variant), which matches op-based map semantics where a
+/// concurrent update must survive a remove.
+class AwMap final : public Crdt {
+ public:
+  AwMap() = default;
+  AwMap(const AwMap& other);
+  AwMap& operator=(const AwMap&) = delete;
+
+  [[nodiscard]] CrdtType type() const override { return CrdtType::kAwMap; }
+
+  [[nodiscard]] static Bytes prepare_update(const std::string& field,
+                                            CrdtType nested,
+                                            const Bytes& nested_op,
+                                            const Dot& dot);
+  [[nodiscard]] Bytes prepare_remove(const std::string& field) const;
+
+  void apply(const Bytes& op) override;
+  [[nodiscard]] Bytes snapshot() const override;
+  void restore(const Bytes& snapshot) override;
+  [[nodiscard]] std::unique_ptr<Crdt> clone() const override;
+
+  [[nodiscard]] bool present(const std::string& name) const;
+  [[nodiscard]] const Crdt* field(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> fields() const;
+
+  template <typename T>
+  [[nodiscard]] const T* field_as(const std::string& name) const {
+    const Crdt* c = field(name);
+    return c == nullptr ? nullptr : dynamic_cast<const T*>(c);
+  }
+
+ private:
+  enum class OpKind : std::uint8_t { kUpdate = 1, kRemove = 2 };
+
+  struct Entry {
+    std::unique_ptr<Crdt> value;
+    std::set<Dot> presence;
+  };
+
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace colony

@@ -1,0 +1,61 @@
+// Register CRDTs: last-writer-wins and multi-value.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crdt/crdt.hpp"
+
+namespace colony {
+
+/// LWW register: the assignment with the greatest arbitration token wins.
+/// Strong convergence follows from Arb being a total order.
+class LwwRegister final : public Crdt {
+ public:
+  [[nodiscard]] CrdtType type() const override {
+    return CrdtType::kLwwRegister;
+  }
+
+  [[nodiscard]] static Bytes prepare_assign(const std::string& value,
+                                            const Arb& arb);
+
+  void apply(const Bytes& op) override;
+  [[nodiscard]] Bytes snapshot() const override;
+  void restore(const Bytes& snapshot) override;
+  [[nodiscard]] std::unique_ptr<Crdt> clone() const override;
+
+  [[nodiscard]] const std::string& value() const { return value_; }
+  [[nodiscard]] const Arb& arb() const { return arb_; }
+
+ private:
+  std::string value_;
+  Arb arb_{};  // zero Arb = unwritten; any real write beats it
+};
+
+/// Multi-value register: concurrent assignments are all kept; a new
+/// assignment replaces exactly the versions its origin had observed.
+/// Requires causal delivery (guaranteed by the visibility layer).
+class MvRegister final : public Crdt {
+ public:
+  [[nodiscard]] CrdtType type() const override { return CrdtType::kMvRegister; }
+
+  /// The op carries the dots of the currently visible versions (to be
+  /// superseded) plus the new (value, dot) pair.
+  [[nodiscard]] Bytes prepare_assign(const std::string& value,
+                                     const Dot& dot) const;
+
+  void apply(const Bytes& op) override;
+  [[nodiscard]] Bytes snapshot() const override;
+  void restore(const Bytes& snapshot) override;
+  [[nodiscard]] std::unique_ptr<Crdt> clone() const override;
+
+  /// All concurrent values, in deterministic (dot) order.
+  [[nodiscard]] std::vector<std::string> values() const;
+  [[nodiscard]] std::size_t version_count() const { return versions_.size(); }
+
+ private:
+  std::map<Dot, std::string> versions_;
+};
+
+}  // namespace colony

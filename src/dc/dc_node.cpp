@@ -1,0 +1,556 @@
+#include "dc/dc_node.hpp"
+
+#include <algorithm>
+
+#include "security/sealed.hpp"
+#include "util/assert.hpp"
+
+namespace colony {
+
+DcNode::DcNode(sim::Network& net, NodeId id, DcConfig config,
+               std::vector<NodeId> peers, std::vector<NodeId> shards)
+    : RpcActor(net, id),
+      config_(config),
+      peers_(std::move(peers)),
+      shard_nodes_(std::move(shards)),
+      engine_(txns_, store_, config.num_dcs),
+      keys_(config.key_seed),
+      dc_states_(config.num_dcs, VersionVector(config.num_dcs)),
+      k_cut_(config.num_dcs) {
+  security::register_acl_crdt();
+  security::register_sealed_crdt();
+  COLONY_ASSERT(config_.k_stability >= 1 &&
+                    config_.k_stability <= config_.num_dcs,
+                "K must be in [1, num_dcs]");
+  COLONY_ASSERT(!shard_nodes_.empty(), "a DC needs at least one shard");
+  for (std::uint32_t s = 0; s < shard_nodes_.size(); ++s) ring_.add_shard(s);
+
+  engine_.set_visible_hook(
+      [this](const Transaction& txn) { on_txn_visible(txn); });
+  engine_.set_security_check([this](const Transaction& txn) {
+    return security::txn_allowed(acl(), txn);
+  });
+  engine_.set_policy_key(security::acl_object_key());
+
+  net_.scheduler().after(config_.gossip_interval, [this] { gossip_tick(); });
+}
+
+const security::AclObject* DcNode::acl() const {
+  const Crdt* obj = store_.current(security::acl_object_key());
+  return obj == nullptr ? nullptr
+                        : dynamic_cast<const security::AclObject*>(obj);
+}
+
+// ---------------------------------------------------------------------------
+// Visibility hook: shard fan-out, geo-replication, session pushes.
+// ---------------------------------------------------------------------------
+
+void DcNode::on_txn_visible(const Transaction& txn) {
+  // A policy update re-evaluates the security mask over the history
+  // (sections 5.3, 6.4): previously visible values may disappear and
+  // previously masked ones may surface.
+  for (const OpRecord& op : txn.ops) {
+    if (op.key == security::acl_object_key()) {
+      engine_.recompute_masks();
+      break;
+    }
+  }
+  fan_out_to_shards(txn);
+  // Parked migrated transactions may now have their snapshot.
+  if (!waiting_execs_.empty()) {
+    std::vector<WaitingExec> ready;
+    for (auto it = waiting_execs_.begin(); it != waiting_execs_.end();) {
+      if (it->req.min_snapshot.leq(engine_.state_vector())) {
+        ready.push_back(std::move(*it));
+        it = waiting_execs_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (WaitingExec& w : ready) {
+      handle_dc_execute(w.from, w.req, std::move(w.reply));
+    }
+  }
+  if (txn.meta.accepted_by(config_.dc_id)) {
+    // This DC sequenced the transaction: replicate it over the mesh in
+    // commit order (per-link FIFO preserves it).
+    for (const NodeId peer : peers_) {
+      tell(peer, proto::kReplicateTxn, proto::ReplicateTxn{txn});
+    }
+  }
+  dc_states_[config_.dc_id] = engine_.state_vector();
+  recompute_k_cut();
+  push_sessions();
+}
+
+void DcNode::fan_out_to_shards(const Transaction& txn) {
+  const Timestamp seq = engine_.log().size();
+  std::map<std::uint32_t, std::vector<OpRecord>> by_shard;
+  for (const OpRecord& op : txn.ops) {
+    by_shard[ring_.owner(op.key)].push_back(op);
+  }
+  for (std::uint32_t s = 0; s < shard_nodes_.size(); ++s) {
+    proto::ShardApplyMsg msg;
+    msg.seq = seq;
+    msg.dot = txn.meta.dot;
+    const auto it = by_shard.find(s);
+    if (it != by_shard.end()) msg.ops = std::move(it->second);
+    // Every shard gets the seq advance (even without ops) so ClockSI reads
+    // at this snapshot do not stall on untouched shards.
+    tell(shard_nodes_[s], proto::kShardApply, std::move(msg));
+  }
+}
+
+void DcNode::recompute_k_cut() {
+  k_cut_ = k_stable_cut(dc_states_, config_.k_stability);
+}
+
+JournalStore::DotPredicate DcNode::k_stable_predicate() const {
+  const VersionVector cut = k_cut_;
+  return [this, cut](const Dot& dot) {
+    return engine_.is_applied(dot) && !engine_.is_masked(dot) &&
+           txns_.visible_at(dot, cut);
+  };
+}
+
+std::optional<ObjectSnapshot> DcNode::export_k_stable(
+    const ObjectKey& key) const {
+  return store_.export_at(key, k_stable_predicate());
+}
+
+// ---------------------------------------------------------------------------
+// Gossip / K-stability.
+// ---------------------------------------------------------------------------
+
+void DcNode::gossip_tick() {
+  dc_states_[config_.dc_id] = engine_.state_vector();
+  for (const NodeId peer : peers_) {
+    tell(peer, proto::kDcGossip,
+         proto::DcGossip{config_.dc_id, engine_.state_vector()});
+  }
+  recompute_k_cut();
+  push_sessions();
+
+  if (++gossip_count_ % config_.base_advance_every == 0) {
+    const auto pred = k_stable_predicate();
+    for (const ObjectKey& key : store_.keys()) {
+      store_.advance_base(key, pred);
+    }
+  }
+  net_.scheduler().after(config_.gossip_interval, [this] { gossip_tick(); });
+}
+
+void DcNode::handle_gossip(NodeId from, const proto::DcGossip& msg) {
+  COLONY_ASSERT(msg.dc < dc_states_.size(), "gossip from unknown DC");
+  dc_states_[msg.dc].merge(msg.state);
+
+  // Anti-entropy: replication is fire-and-forget, so a mesh partition can
+  // lose transactions. The gossiped state vector exposes the gap — re-send
+  // the suffix of our commit stream the peer is missing.
+  const Timestamp peer_has = msg.state.at(config_.dc_id);
+  if (peer_has < commit_counter_) {
+    for (std::size_t i = static_cast<std::size_t>(peer_has);
+         i < my_commits_.size(); ++i) {
+      const Transaction* txn = txns_.find(my_commits_[i]);
+      COLONY_ASSERT(txn != nullptr, "commit stream references unknown txn");
+      tell(from, proto::kReplicateTxn, proto::ReplicateTxn{*txn});
+    }
+  }
+
+  recompute_k_cut();
+  push_sessions();
+}
+
+// ---------------------------------------------------------------------------
+// Session pushes.
+// ---------------------------------------------------------------------------
+
+void DcNode::push_sessions() {
+  for (auto& [node, session] : sessions_) {
+    push_session(node, session);
+  }
+}
+
+void DcNode::push_session(NodeId node, EdgeSession& session) {
+  // A down uplink would silently swallow pushes while the cursor advances,
+  // leaving the session permanently stale; pause instead (TCP-like: the
+  // sender knows the connection is gone) and resume on the next tick.
+  if (!net_.link_up(id(), node)) return;
+  const auto& log = engine_.log().entries();
+  // Push the K-stable prefix of the visibility log that intersects the
+  // session's interest set, in log (causal) order.
+  while (session.cursor < log.size()) {
+    const Dot& dot = log[session.cursor];
+    if (!txns_.visible_at(dot, k_cut_)) break;  // not K-stable yet
+    const Transaction* txn = txns_.find(dot);
+    COLONY_ASSERT(txn != nullptr, "log references unknown txn");
+    if (!engine_.is_masked(dot)) {
+      const bool interesting =
+          std::any_of(txn->ops.begin(), txn->ops.end(),
+                      [&](const OpRecord& op) {
+                        return session.interest.contains(op.key) ||
+                               op.key == security::acl_object_key();
+                      });
+      if (interesting) {
+        tell(node, proto::kPushTxn, proto::PushTxn{*txn});
+        // Pushes consume DC CPU; they delay later request processing.
+        busy_until_ = std::max(busy_until_, net_.now()) +
+                      config_.push_service_time;
+      }
+    }
+    ++session.cursor;
+  }
+  if (!(k_cut_ == session.last_cut_sent)) {
+    session.last_cut_sent = k_cut_;
+    tell(node, proto::kStateUpdate, proto::StateUpdate{k_cut_});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Commit paths.
+// ---------------------------------------------------------------------------
+
+Timestamp DcNode::commit_here(Transaction txn) {
+  const Timestamp ts = ++commit_counter_;
+  txn.meta.mark_accepted(config_.dc_id, ts);
+  my_commits_.push_back(txn.meta.dot);
+  engine_.ingest(std::move(txn));
+  return ts;
+}
+
+void DcNode::handle_edge_commit(NodeId /*from*/,
+                                const proto::EdgeCommitReq& req,
+                                ReplyFn reply) {
+  const Dot dot = req.txn.meta.dot;
+
+  // Duplicate (e.g. re-sent after migration, section 3.8): answer with the
+  // existing commit information instead of sequencing it twice.
+  if (const Transaction* known = txns_.find(dot);
+      known != nullptr && known->meta.concrete) {
+    for (DcId dc = 0; dc < 32; ++dc) {
+      if (known->meta.accepted_by(dc)) {
+        reply(std::any{proto::EdgeCommitResp{
+            dot, dc, known->meta.commit.at(dc), known->meta.snapshot}});
+        return;
+      }
+    }
+  }
+
+  // Resolve the symbolic snapshot: all same-origin pending deps must be
+  // known and concrete here.
+  Transaction txn = req.txn;
+  VersionVector eff = txn.meta.snapshot;
+  for (const Dot& dep : txn.meta.pending_deps) {
+    const Transaction* d = txns_.find(dep);
+    if (d == nullptr || !d->meta.concrete) {
+      reply(Error{Error::Code::kIncompatible,
+                  "missing dependency " + dep.to_string()});
+      return;
+    }
+    eff.merge(d->meta.commit_lub());
+  }
+  if (!eff.leq(engine_.state_vector())) {
+    // The edge depends on transactions this DC has not seen (causal
+    // incompatibility after migration, section 3.8).
+    reply(Error{Error::Code::kIncompatible, "snapshot ahead of DC state"});
+    return;
+  }
+  txn.meta.snapshot = eff;
+  txn.meta.pending_deps.clear();
+  const Timestamp ts = commit_here(std::move(txn));
+  reply(std::any{proto::EdgeCommitResp{dot, config_.dc_id, ts, eff}});
+}
+
+void DcNode::handle_dc_execute(NodeId from, const proto::DcExecuteReq& req,
+                               ReplyFn reply) {
+  // Migrated transaction (section 3.9): the client primed the snapshot
+  // with its own state vector; wait until this DC's state covers it (the
+  // client's own transactions arrive through the commit path first).
+  if (!req.min_snapshot.leq(engine_.state_vector())) {
+    waiting_execs_.push_back(WaitingExec{from, req, std::move(reply)});
+    return;
+  }
+  // Cloud-mode / migrated transaction: read at the current snapshot via the
+  // owning shards (ClockSI read rule), then commit updates with 2PC.
+  struct Context {
+    proto::DcExecuteResp resp;
+    std::size_t awaited = 0;
+    bool failed = false;
+    ReplyFn reply;
+    proto::DcExecuteReq req;
+  };
+  auto ctx = std::make_shared<Context>();
+  ctx->reply = std::move(reply);
+  ctx->req = req;
+  ctx->resp.read_values.resize(req.reads.size());
+
+  const Timestamp snapshot_seq = engine_.log().size();
+
+  auto finish_reads = [this, ctx] {
+    if (ctx->failed) {
+      ctx->reply(Error{Error::Code::kUnavailable, "shard read failed"});
+      return;
+    }
+    if (ctx->req.updates.empty()) {
+      ctx->reply(std::any{ctx->resp});
+      return;
+    }
+    // Two-phase commit across the owning shards.
+    std::map<std::uint32_t, std::vector<OpRecord>> by_shard;
+    for (const OpRecord& op : ctx->req.updates) {
+      by_shard[ring_.owner(op.key)].push_back(op);
+    }
+    const std::uint64_t txn_id = ++local_dot_counter_;
+    auto votes = std::make_shared<std::size_t>(by_shard.size());
+    auto ok = std::make_shared<bool>(true);
+    for (const auto& [shard, ops] : by_shard) {
+      call(shard_nodes_[shard], proto::kShardPrepare,
+           proto::ShardPrepareReq{txn_id, ops},
+           [this, ctx, votes, ok, txn_id, by_shard](Result<std::any> r) {
+             if (!r.ok() ||
+                 !std::any_cast<const proto::ShardPrepareResp&>(r.value())
+                      .vote_commit) {
+               *ok = false;
+             }
+             if (--*votes != 0) return;
+             if (!*ok) {
+               for (const auto& [shard2, _] : by_shard) {
+                 tell(shard_nodes_[shard2], proto::kShardCommit,
+                      proto::ShardCommitMsg{txn_id, false, 0, Dot{}});
+               }
+               ctx->reply(Error{Error::Code::kAborted, "2PC abort"});
+               return;
+             }
+             // All voted commit: sequence the transaction.
+             Transaction txn;
+             txn.meta.dot = Dot{id(), ++local_dot_counter_};
+             txn.meta.origin = id();
+             txn.meta.user = ctx->req.user;
+             txn.meta.snapshot = engine_.state_vector();
+             txn.ops = ctx->req.updates;
+             ctx->resp.dot = txn.meta.dot;
+             const Timestamp ts = commit_here(std::move(txn));
+             for (const auto& [shard2, _] : by_shard) {
+               tell(shard_nodes_[shard2], proto::kShardCommit,
+                    proto::ShardCommitMsg{txn_id, true, ts,
+                                          ctx->resp.dot});
+             }
+             ctx->reply(std::any{ctx->resp});
+           });
+    }
+  };
+
+  if (req.reads.empty()) {
+    finish_reads();
+    return;
+  }
+  ctx->awaited = req.reads.size();
+  for (std::size_t i = 0; i < req.reads.size(); ++i) {
+    const ObjectKey& key = req.reads[i];
+    call(shard_nodes_[ring_.owner(key)], proto::kShardRead,
+         proto::ShardReadReq{key, snapshot_seq},
+         [ctx, i, key, finish_reads](Result<std::any> r) {
+           if (!r.ok()) {
+             ctx->failed = true;
+           } else {
+             const auto& resp =
+                 std::any_cast<const proto::ShardReadResp&>(r.value());
+             ObjectSnapshot snap;
+             snap.key = key;
+             if (resp.found) {
+               snap.type = resp.type;
+               snap.state = resp.state;
+             }
+             ctx->resp.read_values[i] = std::move(snap);
+           }
+           if (--ctx->awaited == 0) finish_reads();
+         });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Subscriptions, fetch, migration.
+// ---------------------------------------------------------------------------
+
+void DcNode::handle_subscribe(NodeId from, const proto::SubscribeReq& req,
+                              ReplyFn reply) {
+  EdgeSession& session = sessions_[from];
+  session.user = req.user;
+  if (session.cursor == 0) {
+    // Fresh session: start pushing from the current K-stable boundary; the
+    // snapshots below carry the history.
+    const auto& log = engine_.log().entries();
+    std::size_t boundary = 0;
+    while (boundary < log.size() &&
+           txns_.visible_at(log[boundary], k_cut_)) {
+      ++boundary;
+    }
+    session.cursor = boundary;
+  }
+  proto::SubscribeResp resp;
+  resp.cut = k_cut_;
+  for (const ObjectKey& key : req.keys) {
+    session.interest.insert(key);
+    if (auto snap = export_k_stable(key)) {
+      resp.snapshots.push_back(std::move(*snap));
+    }
+  }
+  session.last_cut_sent = k_cut_;
+  reply(std::any{resp});
+}
+
+void DcNode::handle_fetch(NodeId from, const proto::FetchReq& req,
+                          ReplyFn reply) {
+  if (req.subscribe) {
+    EdgeSession& session = sessions_[from];
+    if (req.user != 0) session.user = req.user;
+    session.interest.insert(req.key);
+    if (session.cursor == 0) {
+      const auto& log = engine_.log().entries();
+      std::size_t boundary = 0;
+      while (boundary < log.size() &&
+             txns_.visible_at(log[boundary], k_cut_)) {
+        ++boundary;
+      }
+      session.cursor = boundary;
+    }
+  }
+  auto snap = export_k_stable(req.key);
+  if (!snap.has_value()) {
+    reply(Error{Error::Code::kNotFound, "object unknown: " + req.key.full()});
+    return;
+  }
+  reply(std::any{proto::FetchResp{std::move(*snap), k_cut_}});
+}
+
+void DcNode::handle_migrate(NodeId from, const proto::MigrateReq& req,
+                            ReplyFn reply) {
+  proto::MigrateResp resp;
+  resp.cut = k_cut_;
+  // Causal compatibility (section 3.8): this DC's state must include the
+  // edge node's dependencies.
+  if (!req.state.leq(engine_.state_vector())) {
+    resp.compatible = false;
+    reply(std::any{resp});
+    return;
+  }
+  EdgeSession& session = sessions_[from];
+  session.user = req.user;
+  session.interest.insert(req.interest.begin(), req.interest.end());
+  if (session.cursor == 0) {
+    const auto& log = engine_.log().entries();
+    std::size_t boundary = 0;
+    while (boundary < log.size() &&
+           txns_.visible_at(log[boundary], k_cut_)) {
+      ++boundary;
+    }
+    session.cursor = boundary;
+  }
+  session.last_cut_sent = k_cut_;
+  resp.compatible = true;
+  reply(std::any{resp});
+}
+
+// ---------------------------------------------------------------------------
+// Replication ingest.
+// ---------------------------------------------------------------------------
+
+void DcNode::handle_replicate(const proto::ReplicateTxn& msg) {
+  engine_.ingest(msg.txn);
+  dc_states_[config_.dc_id] = engine_.state_vector();
+  recompute_k_cut();
+  push_sessions();
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+void DcNode::on_message(NodeId from, std::uint32_t kind,
+                        const std::any& body) {
+  switch (kind) {
+    case proto::kReplicateTxn:
+      handle_replicate(std::any_cast<const proto::ReplicateTxn&>(body));
+      break;
+    case proto::kDcGossip:
+      handle_gossip(from, std::any_cast<const proto::DcGossip&>(body));
+      break;
+    case proto::kUnsubscribe: {
+      const auto& msg = std::any_cast<const proto::UnsubscribeMsg&>(body);
+      const auto it = sessions_.find(from);
+      if (it != sessions_.end()) {
+        for (const ObjectKey& key : msg.keys) it->second.interest.erase(key);
+      }
+      break;
+    }
+    default:
+      break;  // unknown one-way messages are ignored (forward compat)
+  }
+}
+
+void DcNode::on_request(NodeId from, std::uint32_t method,
+                        const std::any& payload, ReplyFn reply) {
+  // Client-facing requests queue behind the DC's logical CPU; the queueing
+  // delay under load is what bends the Figure 4 latency curve upward.
+  const SimTime service = method == proto::kDcExecute
+                              ? config_.execute_service_time
+                              : config_.rpc_service_time;
+  const SimTime start = std::max(net_.now(), busy_until_);
+  busy_until_ = start + service;
+  net_.scheduler().at(
+      busy_until_,
+      [this, from, method, payload, reply = std::move(reply)]() mutable {
+        dispatch_request(from, method, payload, std::move(reply));
+      });
+}
+
+void DcNode::dispatch_request(NodeId from, std::uint32_t method,
+                              const std::any& payload, ReplyFn reply) {
+  switch (method) {
+    case proto::kEdgeCommit:
+      handle_edge_commit(from,
+                         std::any_cast<const proto::EdgeCommitReq&>(payload),
+                         std::move(reply));
+      break;
+    case proto::kSubscribe:
+      handle_subscribe(from,
+                       std::any_cast<const proto::SubscribeReq&>(payload),
+                       std::move(reply));
+      break;
+    case proto::kFetchObject:
+      handle_fetch(from, std::any_cast<const proto::FetchReq&>(payload),
+                   std::move(reply));
+      break;
+    case proto::kMigrate:
+      handle_migrate(from, std::any_cast<const proto::MigrateReq&>(payload),
+                     std::move(reply));
+      break;
+    case proto::kDcExecute:
+      handle_dc_execute(from,
+                        std::any_cast<const proto::DcExecuteReq&>(payload),
+                        std::move(reply));
+      break;
+    case proto::kOpenSession: {
+      // Session opening (section 6.2): authenticate and hand out session
+      // keys for the buckets the user may read. With an open policy (no
+      // ACL installed) everyone is authorised.
+      const auto& req = std::any_cast<const proto::OpenSessionReq&>(payload);
+      proto::OpenSessionResp resp;
+      const security::AclObject* policy = acl();
+      for (const std::string& bucket : req.buckets) {
+        const bool authorised =
+            policy == nullptr || policy->grant_count() == 0 ||
+            policy->check(bucket, req.user, security::Permission::kRead);
+        if (!authorised) continue;
+        keys_.authorize(bucket, req.user);
+        resp.keys.emplace_back(bucket, *keys_.key_for(bucket, req.user));
+      }
+      reply(std::any{resp});
+      break;
+    }
+    default:
+      reply(Error{Error::Code::kInvalidArgument, "unknown DC method"});
+  }
+}
+
+}  // namespace colony

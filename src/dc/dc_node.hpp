@@ -1,0 +1,149 @@
+// Data-centre node: sequencer, geo-replication endpoint, edge session
+// manager, and ClockSI coordinator over its shard servers.
+//
+// Externally a DC behaves as one sequential node (paper section 3.4): its
+// transactions carry dense sequence numbers in component `dc_id` of the
+// version vector. Internally it coordinates shard servers (section 3.6),
+// replicates committed transactions to the other DCs over the mesh, tracks
+// K-stability from gossiped state vectors (section 3.8), and serves edge
+// sessions: interest-set subscriptions, pushes of K-stable transactions,
+// commit acknowledgement, fetch, and migration.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "clock/hlc.hpp"
+#include "core/txn.hpp"
+#include "core/visibility.hpp"
+#include "dc/messages.hpp"
+#include "security/acl.hpp"
+#include "security/crypto_sim.hpp"
+#include "sim/rpc.hpp"
+#include "storage/hash_ring.hpp"
+#include "storage/journal_store.hpp"
+#include "util/metrics.hpp"
+
+namespace colony {
+
+struct DcConfig {
+  DcId dc_id = 0;
+  std::size_t num_dcs = 1;
+  /// K-stability threshold: a transaction becomes visible to edge nodes
+  /// only once >= K DCs know it (section 3.8). 1 <= K <= num_dcs.
+  std::size_t k_stability = 1;
+  SimTime gossip_interval = 100 * kMillisecond;
+  /// Bake K-stable journal prefixes into base versions every N gossips.
+  std::size_t base_advance_every = 50;
+  /// Seed of the session-key service. All DCs of a deployment share it so
+  /// a client can open a session at any DC (the authentication service is
+  /// logically one, section 6.2).
+  std::uint64_t key_seed = 0xC010;
+  /// CPU cost of serving one client-facing RPC / one session push. Requests
+  /// queue behind a single logical CPU, which is what saturates throughput
+  /// in Figure 4. Scale rpc_service_time down for bigger DCs.
+  SimTime rpc_service_time = 150 * kMicrosecond;
+  SimTime push_service_time = 15 * kMicrosecond;
+  /// A cloud-mode transaction execution (kDcExecute) costs more than a
+  /// plain session RPC: it fans out shard reads and runs 2PC internally.
+  SimTime execute_service_time = 225 * kMicrosecond;
+};
+
+class DcNode final : public sim::RpcActor {
+ public:
+  /// `peers` are the other DC node ids; `shards` the shard-server node ids
+  /// of this DC (the topology builder creates and links them).
+  DcNode(sim::Network& net, NodeId id, DcConfig config,
+         std::vector<NodeId> peers, std::vector<NodeId> shards);
+
+  // --- introspection (tests & benches) -----------------------------------
+  [[nodiscard]] const VersionVector& state_vector() const {
+    return engine_.state_vector();
+  }
+  [[nodiscard]] VersionVector k_cut() const { return k_cut_; }
+  [[nodiscard]] const JournalStore& store() const { return store_; }
+  [[nodiscard]] const TxnStore& txns() const { return txns_; }
+  [[nodiscard]] const VisibilityEngine& engine() const { return engine_; }
+  [[nodiscard]] DcId dc_id() const { return config_.dc_id; }
+  [[nodiscard]] std::uint64_t committed() const { return commit_counter_; }
+  [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
+
+  /// The DC's current view of the policy object (nullptr = open policy).
+  [[nodiscard]] const security::AclObject* acl() const;
+
+ protected:
+  void on_message(NodeId from, std::uint32_t kind,
+                  const std::any& body) override;
+  void on_request(NodeId from, std::uint32_t method, const std::any& payload,
+                  ReplyFn reply) override;
+
+ private:
+  void dispatch_request(NodeId from, std::uint32_t method,
+                        const std::any& payload, ReplyFn reply);
+  struct EdgeSession {
+    UserId user = 0;
+    std::set<ObjectKey> interest;
+    std::size_t cursor = 0;        // position in the DC visibility log
+    VersionVector last_cut_sent;
+  };
+
+  // Handlers.
+  void handle_edge_commit(NodeId from, const proto::EdgeCommitReq& req,
+                          ReplyFn reply);
+  void handle_subscribe(NodeId from, const proto::SubscribeReq& req,
+                        ReplyFn reply);
+  void handle_fetch(NodeId from, const proto::FetchReq& req, ReplyFn reply);
+  void handle_migrate(NodeId from, const proto::MigrateReq& req,
+                      ReplyFn reply);
+  void handle_dc_execute(NodeId from, const proto::DcExecuteReq& req,
+                         ReplyFn reply);
+  void handle_replicate(const proto::ReplicateTxn& msg);
+  void handle_gossip(NodeId from, const proto::DcGossip& msg);
+
+  // Internals.
+  void on_txn_visible(const Transaction& txn);
+  void fan_out_to_shards(const Transaction& txn);
+  void recompute_k_cut();
+  void push_sessions();
+  void push_session(NodeId node, EdgeSession& session);
+  void gossip_tick();
+  [[nodiscard]] JournalStore::DotPredicate k_stable_predicate() const;
+  [[nodiscard]] std::optional<ObjectSnapshot> export_k_stable(
+      const ObjectKey& key) const;
+  /// Assign this DC's next commit timestamp to a (new) transaction and make
+  /// it visible. `txn.meta` must have a resolved concrete snapshot.
+  Timestamp commit_here(Transaction txn);
+
+  DcConfig config_;
+  std::vector<NodeId> peers_;
+  std::vector<NodeId> shard_nodes_;
+  HashRing ring_;
+
+  TxnStore txns_;
+  JournalStore store_;
+  VisibilityEngine engine_;
+  HybridLogicalClock hlc_;
+  security::KeyService keys_;
+
+  Timestamp commit_counter_ = 0;
+  std::vector<Dot> my_commits_;  // txns sequenced here, in ts order
+  std::uint64_t local_dot_counter_ = 0;
+  std::vector<VersionVector> dc_states_;
+  VersionVector k_cut_;
+  std::map<NodeId, EdgeSession> sessions_;
+  std::size_t gossip_count_ = 0;
+  SimTime busy_until_ = 0;  // single logical CPU; models saturation
+
+  /// Migrated transactions waiting for their primed snapshot (section 3.9).
+  struct WaitingExec {
+    NodeId from;
+    proto::DcExecuteReq req;
+    ReplyFn reply;
+  };
+  std::vector<WaitingExec> waiting_execs_;
+};
+
+}  // namespace colony

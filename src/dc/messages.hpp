@@ -1,0 +1,269 @@
+// Wire protocol between edge nodes, peer groups, and data centres.
+//
+// Message bodies travel through the simulated network as typed structs (the
+// simulator delivers std::any); kinds below identify them. Metadata sizes
+// for the ablation bench are computed from the structs' codec encodings.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "clock/version_vector.hpp"
+#include "consensus/epaxos.hpp"
+#include "core/txn.hpp"
+#include "storage/journal_store.hpp"
+#include "util/types.hpp"
+
+namespace colony::proto {
+
+enum Kind : std::uint32_t {
+  // Edge <-> DC session protocol.
+  kEdgeCommit = 10,   // RPC  EdgeCommitReq -> EdgeCommitResp
+  kSubscribe = 11,    // RPC  SubscribeReq  -> SubscribeResp
+  kFetchObject = 12,  // RPC  FetchReq      -> FetchResp
+  kPushTxn = 13,      // 1way PushTxn (DC/parent -> edge)
+  kStateUpdate = 14,  // 1way StateUpdate (k-stable cut advance)
+  kMigrate = 15,      // RPC  MigrateReq    -> MigrateResp
+  kDcExecute = 16,    // RPC  DcExecuteReq  -> DcExecuteResp (cloud mode)
+  kOpenSession = 17,  // RPC  OpenSessionReq -> OpenSessionResp (keys)
+
+  // DC <-> DC geo-replication.
+  kReplicateTxn = 20,  // 1way Transaction in commit order
+  kDcGossip = 21,      // 1way state-vector gossip (drives K-stability)
+
+  // Intra-DC shard protocol (ClockSI-style).
+  kShardRead = 30,     // RPC  ShardReadReq -> ShardReadResp
+  kShardPrepare = 31,  // RPC  ShardPrepareReq -> ShardPrepareResp
+  kShardCommit = 32,   // 1way ShardCommitMsg
+  kShardApply = 33,    // 1way ShardApplyMsg (replicated/edge txn fan-out)
+
+  // Peer group protocol.
+  kGroupJoin = 40,        // RPC  GroupJoinReq -> GroupJoinResp
+  kGroupLeave = 41,       // RPC  GroupLeaveReq -> (empty)
+  kGroupMembership = 42,  // 1way MembershipMsg (parent -> members)
+  kEpaxos = 43,           // 1way consensus::EpaxosMsg between members
+  kGroupCatchup = 44,     // RPC  CatchupReq -> CatchupResp
+  kPeerFetch = 45,        // RPC  PeerFetchReq -> PeerFetchResp
+  kResolutionRelay = 46,  // 1way ResolutionMsg (parent -> members)
+  kInterestUpdate = 47,   // 1way member interest-set publication
+  kUnsubscribe = 48,      // 1way UnsubscribeMsg (edge -> DC/parent)
+  kGroupPing = 49,        // RPC  parent -> member liveness probe
+};
+
+// --- Edge <-> DC -----------------------------------------------------------
+
+struct EdgeCommitReq {
+  Transaction txn;  // symbolic commit; pending_deps reference earlier dots
+};
+struct EdgeCommitResp {
+  Dot dot;
+  DcId dc = 0;
+  Timestamp ts = 0;                 // assigned commit timestamp T.C[dc]
+  VersionVector resolved_snapshot;  // DC-resolved concrete snapshot
+};
+
+struct SubscribeReq {
+  std::vector<ObjectKey> keys;
+  UserId user = 0;
+};
+struct SubscribeResp {
+  std::vector<ObjectSnapshot> snapshots;
+  VersionVector cut;  // k-stable cut the snapshots were materialised at
+};
+
+struct FetchReq {
+  ObjectKey key;
+  bool subscribe = true;  // also add the key to the session interest set
+  UserId user = 0;
+};
+struct FetchResp {
+  ObjectSnapshot snapshot;
+  VersionVector cut;
+};
+
+struct PushTxn {
+  Transaction txn;
+};
+struct StateUpdate {
+  VersionVector cut;
+};
+
+struct MigrateReq {
+  VersionVector state;  // edge's state vector
+  std::vector<ObjectKey> interest;
+  UserId user = 0;
+};
+struct MigrateResp {
+  bool compatible = false;
+  VersionVector cut;
+};
+
+/// Cloud-mode (AntidoteDB-like) and migrated-transaction execution: the DC
+/// runs the transaction. Reads return materialised values; updates are ops
+/// prepared by the client against the read values.
+///
+/// For a migrated transaction (section 3.9) the client primes
+/// `min_snapshot` with its own state vector: the DC defers execution until
+/// its state covers it, so the migrated transaction observes everything the
+/// client had (same effect as running at the edge, only faster).
+struct DcExecuteReq {
+  std::vector<ObjectKey> reads;
+  std::vector<OpRecord> updates;
+  UserId user = 0;
+  VersionVector min_snapshot;
+};
+struct DcExecuteResp {
+  std::vector<ObjectSnapshot> read_values;
+  Dot dot;  // of the committed update transaction (if updates non-empty)
+};
+
+/// Session opening (section 6.1-6.2): the session manager in the core
+/// cloud authenticates the client and hands out one symmetric session key
+/// per requested bucket — the keys that make end-to-end sealing work.
+struct OpenSessionReq {
+  UserId user = 0;
+  std::vector<std::string> buckets;
+};
+struct OpenSessionResp {
+  /// (bucket, key) pairs for the buckets the user is authorised to read;
+  /// unauthorised buckets are omitted.
+  std::vector<std::pair<std::string, std::uint64_t>> keys;
+};
+
+// --- DC <-> DC --------------------------------------------------------------
+
+struct ReplicateTxn {
+  Transaction txn;
+};
+struct DcGossip {
+  DcId dc = 0;
+  VersionVector state;
+};
+
+// --- Intra-DC shards ---------------------------------------------------------
+
+struct ShardReadReq {
+  ObjectKey key;
+  Timestamp min_seq = 0;  // ClockSI read rule: wait until shard caught up
+};
+struct ShardReadResp {
+  bool found = false;
+  CrdtType type{};
+  Bytes state;
+};
+struct ShardPrepareReq {
+  std::uint64_t txn_id = 0;
+  std::vector<OpRecord> ops;  // ops owned by this shard
+};
+struct ShardPrepareResp {
+  std::uint64_t txn_id = 0;
+  bool vote_commit = false;
+};
+struct ShardCommitMsg {
+  std::uint64_t txn_id = 0;
+  bool commit = false;
+  Timestamp seq = 0;  // DC sequence number of the transaction
+  Dot dot;
+};
+struct ShardApplyMsg {
+  Timestamp seq = 0;
+  Dot dot;
+  std::vector<OpRecord> ops;  // ops owned by this shard
+};
+
+// --- Peer group --------------------------------------------------------------
+
+struct GroupJoinReq {
+  NodeId node = 0;
+  UserId user = 0;
+  VersionVector state;  // causal compatibility check (section 5.2)
+  std::vector<ObjectKey> interest;
+};
+struct GroupJoinResp {
+  bool accepted = false;
+  std::uint64_t epoch = 0;
+  std::vector<NodeId> members;  // includes the parent
+  std::uint64_t session_key = 0;
+};
+struct GroupLeaveReq {
+  NodeId node = 0;
+};
+struct MembershipMsg {
+  std::uint64_t epoch = 0;
+  std::vector<NodeId> members;
+};
+struct EpaxosEnvelope {
+  std::uint64_t epoch = 0;
+  consensus::EpaxosMsg msg;
+};
+struct CatchupReq {
+  NodeId node = 0;
+};
+struct CatchupResp {
+  std::vector<consensus::CommitMsg> instances;
+  std::vector<Transaction> txns;  // records referenced by the instances
+  VersionVector cut;
+};
+struct PeerFetchReq {
+  ObjectKey key;
+  bool subscribe = true;
+  NodeId member = 0;
+};
+struct PeerFetchResp {
+  bool found = false;
+  ObjectSnapshot snapshot;
+};
+struct ResolutionMsg {
+  Dot dot;
+  DcId dc = 0;
+  Timestamp ts = 0;
+  VersionVector resolved_snapshot;
+};
+struct InterestUpdate {
+  NodeId node = 0;
+  std::vector<ObjectKey> keys;
+};
+struct UnsubscribeMsg {
+  std::vector<ObjectKey> keys;
+};
+
+/// Payload of an EPaxos command inside a peer group: the transaction plus,
+/// for the PSI commit variant, the proposer's conflict signature (expected
+/// count of delivered interfering commands per key). Every member computes
+/// the same abort decision from it, deterministically.
+struct GroupCommand {
+  bool ordered = false;  // true = PSI-on-critical-path variant (§5.1.4)
+  Transaction txn;
+  std::vector<std::pair<ObjectKey, std::uint64_t>> expected;
+
+  [[nodiscard]] Bytes to_bytes() const {
+    Encoder enc;
+    enc.boolean(ordered);
+    txn.encode(enc);
+    enc.u32(static_cast<std::uint32_t>(expected.size()));
+    for (const auto& [key, count] : expected) {
+      enc.str(key.bucket);
+      enc.str(key.name);
+      enc.u64(count);
+    }
+    return enc.take();
+  }
+
+  static GroupCommand from_bytes(const Bytes& bytes) {
+    Decoder dec(bytes);
+    GroupCommand gc;
+    gc.ordered = dec.boolean();
+    gc.txn = Transaction::decode(dec);
+    const std::uint32_t n = dec.u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      ObjectKey key;
+      key.bucket = dec.str();
+      key.name = dec.str();
+      gc.expected.emplace_back(std::move(key), dec.u64());
+    }
+    return gc;
+  }
+};
+
+}  // namespace colony::proto

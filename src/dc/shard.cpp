@@ -1,0 +1,108 @@
+#include "dc/shard.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace colony {
+
+ShardServer::ShardServer(sim::Network& net, NodeId id) : RpcActor(net, id) {}
+
+proto::ShardReadResp ShardServer::read_value(const ObjectKey& key) const {
+  proto::ShardReadResp resp;
+  const auto it = data_.find(key);
+  if (it == data_.end()) return resp;
+  resp.found = true;
+  resp.type = it->second.first;
+  resp.state = it->second.second->snapshot();
+  return resp;
+}
+
+void ShardServer::apply_ops(const std::vector<OpRecord>& ops) {
+  for (const OpRecord& op : ops) {
+    auto it = data_.find(op.key);
+    if (it == data_.end()) {
+      it = data_.emplace(op.key,
+                         std::make_pair(op.type, make_crdt(op.type)))
+               .first;
+    }
+    COLONY_ASSERT(it->second.first == op.type,
+                  "shard object type mismatch");
+    it->second.second->apply(op.payload);
+  }
+}
+
+void ShardServer::serve_ready_reads() {
+  auto ready = [this](const PendingRead& pr) {
+    return pr.min_seq <= applied_seq_;
+  };
+  for (auto it = waiting_reads_.begin(); it != waiting_reads_.end();) {
+    if (ready(*it)) {
+      it->reply(std::any{read_value(it->key)});
+      it = waiting_reads_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ShardServer::on_message(NodeId /*from*/, std::uint32_t kind,
+                             const std::any& body) {
+  switch (kind) {
+    case proto::kShardApply: {
+      const auto& msg = std::any_cast<const proto::ShardApplyMsg&>(body);
+      apply_ops(msg.ops);
+      applied_seq_ = std::max(applied_seq_, msg.seq);
+      serve_ready_reads();
+      break;
+    }
+    case proto::kShardCommit: {
+      const auto& msg = std::any_cast<const proto::ShardCommitMsg&>(body);
+      // The 2PC decision releases the prepared buffer; the data itself
+      // arrives through the uniform kShardApply path so every transaction
+      // flows through exactly one apply pipeline.
+      prepared_.erase(msg.txn_id);
+      break;
+    }
+    default:
+      COLONY_ASSERT(false, "unexpected one-way message at shard");
+  }
+}
+
+void ShardServer::on_request(NodeId /*from*/, std::uint32_t method,
+                             const std::any& payload, ReplyFn reply) {
+  switch (method) {
+    case proto::kShardRead: {
+      const auto& req = std::any_cast<const proto::ShardReadReq&>(payload);
+      if (req.min_seq > applied_seq_) {
+        // ClockSI read rule: this shard has not caught up to the snapshot;
+        // defer the reply until it has.
+        waiting_reads_.push_back(PendingRead{req.min_seq, req.key,
+                                             std::move(reply)});
+        return;
+      }
+      reply(std::any{read_value(req.key)});
+      break;
+    }
+    case proto::kShardPrepare: {
+      const auto& req =
+          std::any_cast<const proto::ShardPrepareReq&>(payload);
+      // CRDT updates never write-conflict; vote no only on a type clash.
+      bool ok = true;
+      for (const OpRecord& op : req.ops) {
+        const auto it = data_.find(op.key);
+        if (it != data_.end() && it->second.first != op.type) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) prepared_[req.txn_id] = req.ops;
+      reply(std::any{proto::ShardPrepareResp{req.txn_id, ok}});
+      break;
+    }
+    default:
+      reply(Error{Error::Code::kInvalidArgument, "unknown shard method"});
+  }
+}
+
+}  // namespace colony

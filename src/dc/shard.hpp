@@ -1,0 +1,56 @@
+// Intra-DC shard server.
+//
+// Data inside a DC is partitioned by consistent hashing across shard
+// servers (paper section 6.3); transactions that span shards commit with a
+// ClockSI-flavoured protocol (section 3.6): reads carry the coordinator's
+// snapshot index and a shard defers the reply until it has applied at least
+// that much (the ClockSI "wait until clock catches up" rule, expressed on
+// the DC's dense apply index); multi-shard updates run two-phase commit.
+//
+// The shard holds the materialised current value of the objects it owns;
+// the authoritative journal and visibility metadata live in the DC node,
+// which fans applied operations out to owners via kShardApply in apply
+// order.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "crdt/crdt.hpp"
+#include "dc/messages.hpp"
+#include "sim/rpc.hpp"
+
+namespace colony {
+
+class ShardServer final : public sim::RpcActor {
+ public:
+  ShardServer(sim::Network& net, NodeId id);
+
+  [[nodiscard]] Timestamp applied_seq() const { return applied_seq_; }
+  [[nodiscard]] std::size_t object_count() const { return data_.size(); }
+
+ protected:
+  void on_message(NodeId from, std::uint32_t kind,
+                  const std::any& body) override;
+  void on_request(NodeId from, std::uint32_t method, const std::any& payload,
+                  ReplyFn reply) override;
+
+ private:
+  struct PendingRead {
+    Timestamp min_seq;
+    ObjectKey key;
+    ReplyFn reply;
+  };
+
+  void apply_ops(const std::vector<OpRecord>& ops);
+  void serve_ready_reads();
+  proto::ShardReadResp read_value(const ObjectKey& key) const;
+
+  std::map<ObjectKey, std::pair<CrdtType, std::unique_ptr<Crdt>>> data_;
+  std::map<std::uint64_t, std::vector<OpRecord>> prepared_;  // 2PC buffers
+  std::vector<PendingRead> waiting_reads_;
+  Timestamp applied_seq_ = 0;
+};
+
+}  // namespace colony

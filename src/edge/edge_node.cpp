@@ -1,0 +1,746 @@
+#include "edge/edge_node.hpp"
+
+#include <algorithm>
+
+#include "security/sealed.hpp"
+#include "util/assert.hpp"
+
+namespace colony {
+
+const char* to_string(ClientMode m) {
+  switch (m) {
+    case ClientMode::kCloudOnly: return "cloud-only";
+    case ClientMode::kClientCache: return "client-cache";
+    case ClientMode::kPeerGroup: return "peer-group";
+  }
+  return "unknown";
+}
+
+const char* to_string(ReadSource s) {
+  switch (s) {
+    case ReadSource::kLocal: return "local";
+    case ReadSource::kPeer: return "peer";
+    case ReadSource::kDc: return "dc";
+  }
+  return "unknown";
+}
+
+EdgeNode::EdgeNode(sim::Network& net, NodeId id, EdgeConfig config)
+    : RpcActor(net, id),
+      config_(config),
+      engine_(txns_, store_, config.num_dcs),
+      interest_(config.cache_capacity) {
+  security::register_acl_crdt();
+  security::register_sealed_crdt();
+  engine_.set_security_check([this](const Transaction& txn) {
+    const Crdt* obj = store_.current(security::acl_object_key());
+    return security::txn_allowed(
+        dynamic_cast<const security::AclObject*>(obj), txn);
+  });
+  engine_.set_policy_key(security::acl_object_key());
+  engine_.set_key_filter([this](const ObjectKey& key) {
+    return key == security::acl_object_key() || interest_.contains(key) ||
+           store_.has(key);
+  });
+  engine_.set_visible_hook([this](const Transaction& txn) {
+    for (const OpRecord& op : txn.ops) {
+      if (op.key == security::acl_object_key()) {
+        engine_.recompute_masks();
+        break;
+      }
+    }
+    notify_watchers(txn);
+  });
+}
+
+void EdgeNode::notify_watchers(const Transaction& txn) {
+  if (watchers_.empty()) return;
+  // Collect first: a callback may watch/unwatch re-entrantly.
+  std::vector<std::pair<WatchCb, ObjectKey>> to_call;
+  for (const auto& [_, watcher] : watchers_) {
+    for (const OpRecord& op : txn.ops) {
+      if (op.key == watcher.key) {
+        to_call.emplace_back(watcher.cb, op.key);
+        break;
+      }
+    }
+  }
+  for (auto& [cb, key] : to_call) cb(key);
+}
+
+std::uint64_t EdgeNode::watch(const ObjectKey& key, WatchCb cb) {
+  const std::uint64_t handle = next_watcher_++;
+  watchers_.emplace(handle, Watcher{key, std::move(cb)});
+  return handle;
+}
+
+void EdgeNode::unwatch(std::uint64_t handle) { watchers_.erase(handle); }
+
+void EdgeNode::migrate_transaction(std::vector<ObjectKey> reads,
+                                   std::vector<OpRecord> updates,
+                                   CloudCb cb) {
+  auto run = [this, reads = std::move(reads), updates = std::move(updates),
+              cb = std::move(cb)]() mutable {
+    proto::DcExecuteReq req;
+    req.reads = std::move(reads);
+    req.updates = std::move(updates);
+    req.user = config_.user;
+    req.min_snapshot = engine_.state_vector();
+    call(config_.dc, proto::kDcExecute, std::move(req),
+         [cb = std::move(cb)](Result<std::any> r) {
+           if (!r.ok()) {
+             cb(r.error());
+             return;
+           }
+           cb(std::any_cast<const proto::DcExecuteResp&>(r.value()));
+         });
+  };
+  if (unacked_.empty()) {
+    run();
+  } else {
+    // The DC must first receive the transactions this one depends upon
+    // (section 3.9); the commit pump flushes them, then we fire.
+    pending_migrated_.push_back(std::move(run));
+  }
+}
+
+Arb EdgeNode::make_arb() {
+  return Arb{hlc_.tick(net_.now()), fresh_dot()};
+}
+
+std::unique_ptr<Crdt> EdgeNode::read_at(const ObjectKey& key,
+                                        const VersionVector& cut) const {
+  if (!store_.has(key)) return nullptr;
+  return store_.materialize(key, [this, &cut](const Dot& dot) {
+    return engine_.is_applied(dot) && !engine_.is_masked(dot) &&
+           txns_.visible_at(dot, cut);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Cache admission / eviction.
+// ---------------------------------------------------------------------------
+
+void EdgeNode::admit(const ObjectKey& key) {
+  const auto victim = interest_.add(key);
+  if (!victim.has_value()) return;
+  store_.erase(*victim);
+  const NodeId target = group_ ? group_->parent : config_.dc;
+  tell(target, proto::kUnsubscribe, proto::UnsubscribeMsg{{*victim}});
+}
+
+void EdgeNode::invalidate_cache() {
+  const auto keys = store_.keys();
+  for (const ObjectKey& key : keys) {
+    store_.erase(key);
+    interest_.remove(key);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transactions.
+// ---------------------------------------------------------------------------
+
+EdgeNode::Txn EdgeNode::begin() {
+  Txn txn;
+  txn.id = ++txn_counter_;
+  return txn;
+}
+
+void EdgeNode::update(Txn& txn, OpRecord op) {
+  txn.ops.push_back(std::move(op));
+}
+
+void EdgeNode::finish_read(const Txn& txn, const ObjectKey& key,
+                           CrdtType type, ReadCb cb, ReadSource source) {
+  store_.ensure(key, type);
+  interest_.touch(key);
+  std::shared_ptr<Crdt> value = store_.current(key)->clone();
+  for (const OpRecord& op : txn.ops) {
+    if (op.key == key) value->apply(op.payload);
+  }
+  cb(std::move(value), source);
+}
+
+void EdgeNode::read(Txn& txn, const ObjectKey& key, CrdtType type,
+                    ReadCb cb) {
+  COLONY_ASSERT(config_.mode != ClientMode::kCloudOnly,
+                "cloud-only clients use cloud_execute");
+  if (store_.has(key)) {
+    finish_read(txn, key, type, std::move(cb), ReadSource::kLocal);
+    return;
+  }
+  if (group_) {
+    // Collaborative cache first (section 5.1.2): the parent holds the
+    // union of the members' interest sets.
+    call(group_->parent, proto::kPeerFetch,
+         proto::PeerFetchReq{key, true, id()},
+         [this, &txn, key, type, cb = std::move(cb)](Result<std::any> r) {
+           if (r.ok()) {
+             const auto& resp =
+                 std::any_cast<const proto::PeerFetchResp&>(r.value());
+             if (resp.found) {
+               import_fetched(resp.snapshot, VersionVector{});
+               admit(key);
+               finish_read(txn, key, type, std::move(cb), ReadSource::kPeer);
+               return;
+             }
+           }
+           fetch_from_dc(txn, key, type, std::move(cb));
+         });
+    return;
+  }
+  fetch_from_dc(txn, key, type, std::move(cb));
+}
+
+void EdgeNode::fetch_from_dc(const Txn& txn, const ObjectKey& key,
+                             CrdtType type, ReadCb cb) {
+  call(config_.dc, proto::kFetchObject,
+       proto::FetchReq{key, true, config_.user},
+       [this, &txn, key, type, cb = std::move(cb)](Result<std::any> r) {
+         if (r.ok()) {
+           const auto& resp =
+               std::any_cast<const proto::FetchResp&>(r.value());
+           import_fetched(resp.snapshot, resp.cut);
+           admit(key);
+           finish_read(txn, key, type, std::move(cb), ReadSource::kDc);
+           return;
+         }
+         if (r.error().code == Error::Code::kNotFound ||
+             r.error().message.starts_with("object unknown")) {
+           // Nobody has created the object yet: start from the initial
+           // (empty) state locally.
+           store_.ensure(key, type);
+           admit(key);
+           finish_read(txn, key, type, std::move(cb), ReadSource::kDc);
+           return;
+         }
+         // Disconnected and not cached: the transaction cannot proceed
+         // (inherent edge limitation, section 4.2).
+         cb(Error{Error::Code::kUnavailable,
+                  "object not retrievable: " + key.full()},
+            ReadSource::kDc);
+       });
+}
+
+void EdgeNode::import_fetched(const ObjectSnapshot& snap,
+                              const VersionVector& cut) {
+  store_.import_snapshot(snap);
+  // The fetched (K-stable) version may be older than what this node had
+  // already observed for the key: replay the locally-known suffix.
+  engine_.reapply_missing(snap.key, snap);
+  engine_.seed_state(cut);
+  engine_.drain();
+  if (group_) drain_group_queue();
+}
+
+std::vector<ObjectKey> EdgeNode::command_keys(
+    const Transaction& record) const {
+  std::vector<ObjectKey> keys;
+  for (const OpRecord& op : record.ops) keys.push_back(op.key);
+  // Synthetic per-origin key: all commands from one node interfere, so
+  // EPaxos delivers them in proposal order. Without it, a node's later
+  // transaction (which causally depends on its earlier one via the
+  // symbolic-commit chain) could be delivered and forwarded first.
+  keys.push_back(ObjectKey{"_origin", std::to_string(id())});
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+Transaction EdgeNode::make_transaction(Txn&& txn) {
+  Transaction out;
+  out.meta.dot = fresh_dot();
+  out.meta.origin = id();
+  out.meta.user = config_.user;
+  out.meta.snapshot = engine_.state_vector();
+  if (last_local_unresolved_.has_value()) {
+    out.meta.pending_deps.push_back(*last_local_unresolved_);
+  }
+  out.ops = std::move(txn.ops);
+  return out;
+}
+
+Result<Dot> EdgeNode::commit(Txn&& txn) {
+  if (config_.mode == ClientMode::kCloudOnly) {
+    return Error{Error::Code::kInvalidArgument,
+                 "cloud-only clients use cloud_execute"};
+  }
+  if (txn.ops.empty()) return Dot{};  // read-only: no side effects
+  if (unacked_.size() >= config_.max_unacked) {
+    return Error{Error::Code::kUnavailable,
+                 "commit backlog full (out of storage)"};
+  }
+
+  Transaction record = make_transaction(std::move(txn));
+  const Dot dot = record.meta.dot;
+  const auto keys = command_keys(record);
+
+  // Admit the written keys into the cache before applying, so the key
+  // filter materialises them.
+  for (const OpRecord& op : record.ops) admit(op.key);
+  engine_.ingest(record);
+  engine_.apply_local(dot);  // read-my-writes (section 3.8)
+  last_local_unresolved_ = dot;
+  unacked_.push_back(dot);
+  ++commits_;
+
+  if (group_) {
+    // Variant 2 (section 5.1.4): commit is local; EPaxos ordering and the
+    // sync point's DC handoff happen in the background.
+    proto::GroupCommand gc;
+    gc.ordered = false;
+    gc.txn = record;
+    consensus::Command cmd{dot, keys, gc.to_bytes()};
+    group_->pending_cmds.emplace(dot, cmd);
+    group_->undelivered.insert(dot);
+    for (const ObjectKey& key : keys) ++group_->own_pending_per_key[key];
+    const auto inst = group_->epaxos->propose(std::move(cmd));
+    schedule_nudge(inst, group_->epoch);
+  } else {
+    pump_commits();
+  }
+  return dot;
+}
+
+void EdgeNode::commit_write_through(Txn&& txn, CommitCb cb) {
+  const Result<Dot> local = commit(std::move(txn));
+  if (!local.ok()) {
+    cb(local.error());
+    return;
+  }
+  const Dot dot = local.value();
+  if (!dot.valid()) {  // read-only
+    cb(dot);
+    return;
+  }
+  ack_waiters_.emplace(dot, std::move(cb));
+}
+
+void EdgeNode::commit_ordered(Txn&& txn, CommitCb cb) {
+  if (!group_) {
+    cb(Error{Error::Code::kInvalidArgument,
+             "ordered commit requires a peer group"});
+    return;
+  }
+  if (txn.ops.empty()) {
+    cb(Dot{});
+    return;
+  }
+  Transaction record = make_transaction(std::move(txn));
+  const Dot dot = record.meta.dot;
+  const auto keys = command_keys(record);
+
+  proto::GroupCommand gc;
+  gc.ordered = true;
+  gc.txn = record;
+  for (const ObjectKey& key : keys) {
+    const auto seen = group_->seen_per_key.count(key)
+                          ? group_->seen_per_key.at(key)
+                          : 0;
+    const auto own = group_->own_pending_per_key.count(key)
+                         ? group_->own_pending_per_key.at(key)
+                         : 0;
+    gc.expected.emplace_back(key, seen + own);
+  }
+
+  for (const OpRecord& op : record.ops) admit(op.key);
+  txns_.add(record);  // not applied until consensus orders it (variant 1)
+  consensus::Command cmd{dot, keys, gc.to_bytes()};
+  group_->pending_cmds.emplace(dot, cmd);
+  group_->undelivered.insert(dot);
+  group_->ordered_waiting.emplace(dot, std::move(cb));
+  for (const ObjectKey& key : keys) ++group_->own_pending_per_key[key];
+  const auto inst = group_->epaxos->propose(std::move(cmd));
+  schedule_nudge(inst, group_->epoch);
+}
+
+void EdgeNode::cloud_execute(std::vector<ObjectKey> reads,
+                             std::vector<OpRecord> updates, CloudCb cb) {
+  call(config_.dc, proto::kDcExecute,
+       proto::DcExecuteReq{std::move(reads), std::move(updates),
+                           config_.user},
+       [cb = std::move(cb)](Result<std::any> r) {
+         if (!r.ok()) {
+           cb(r.error());
+           return;
+         }
+         cb(std::any_cast<const proto::DcExecuteResp&>(r.value()));
+       });
+}
+
+// ---------------------------------------------------------------------------
+// Commit pump (direct DC attachment).
+// ---------------------------------------------------------------------------
+
+void EdgeNode::pump_commits() {
+  if (group_ || pump_in_flight_ || unacked_.empty()) return;
+  pump_in_flight_ = true;
+  const Dot dot = unacked_.front();
+  const Transaction* txn = txns_.find(dot);
+  COLONY_ASSERT(txn != nullptr, "unacked dot without record");
+  call(config_.dc, proto::kEdgeCommit, proto::EdgeCommitReq{*txn},
+       [this, dot](Result<std::any> r) {
+         pump_in_flight_ = false;
+         if (r.ok()) {
+           on_commit_ack(
+               dot, std::any_cast<const proto::EdgeCommitResp&>(r.value()));
+           pump_commits();
+           return;
+         }
+         // Offline or incompatible: retry later; duplicates are filtered
+         // by dot at the DC (section 3.8).
+         net_.scheduler().after(config_.retry_interval,
+                                [this] { pump_commits(); });
+       });
+}
+
+void EdgeNode::on_commit_ack(const Dot& dot,
+                             const proto::EdgeCommitResp& resp) {
+  engine_.resolve_full(dot, resp.dc, resp.ts, resp.resolved_snapshot);
+  const auto it = std::find(unacked_.begin(), unacked_.end(), dot);
+  if (it != unacked_.end()) unacked_.erase(it);
+  if (last_local_unresolved_ == dot) last_local_unresolved_.reset();
+  if (const auto wit = ack_waiters_.find(dot); wit != ack_waiters_.end()) {
+    CommitCb cb = std::move(wit->second);
+    ack_waiters_.erase(wit);
+    cb(dot);
+  }
+  if (unacked_.empty() && !pending_migrated_.empty()) {
+    // The chain flushed: launch deferred migrated transactions (§3.9).
+    std::vector<std::function<void()>> ready;
+    ready.swap(pending_migrated_);
+    for (auto& run : ready) run();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Session management.
+// ---------------------------------------------------------------------------
+
+void EdgeNode::subscribe(std::vector<ObjectKey> keys, DoneCb done) {
+  const NodeId target = group_ ? group_->parent : config_.dc;
+  call(target, proto::kSubscribe, proto::SubscribeReq{keys, config_.user},
+       [this, keys, done = std::move(done)](Result<std::any> r) {
+         if (!r.ok()) {
+           done(r.error());
+           return;
+         }
+         const auto& resp =
+             std::any_cast<const proto::SubscribeResp&>(r.value());
+         for (const ObjectSnapshot& snap : resp.snapshots) {
+           store_.import_snapshot(snap);
+           engine_.reapply_missing(snap.key, snap);
+         }
+         for (const ObjectKey& key : keys) admit(key);
+         engine_.seed_state(resp.cut);
+         engine_.drain();
+         if (group_) drain_group_queue();
+         done(Result<void>{});
+       });
+}
+
+void EdgeNode::open_session(std::vector<std::string> buckets, DoneCb done) {
+  call(config_.dc, proto::kOpenSession,
+       proto::OpenSessionReq{config_.user, std::move(buckets)},
+       [this, done = std::move(done)](Result<std::any> r) {
+         if (!r.ok()) {
+           done(r.error());
+           return;
+         }
+         const auto& resp =
+             std::any_cast<const proto::OpenSessionResp&>(r.value());
+         for (const auto& [bucket, key] : resp.keys) {
+           session_keys_[bucket] = key;
+         }
+         done(Result<void>{});
+       });
+}
+
+std::optional<security::SessionKey> EdgeNode::session_key(
+    const std::string& bucket) const {
+  const auto it = session_keys_.find(bucket);
+  if (it == session_keys_.end()) return std::nullopt;
+  return it->second;
+}
+
+void EdgeNode::migrate_to_dc(NodeId new_dc, DoneCb done) {
+  config_.dc = new_dc;
+  call(new_dc, proto::kMigrate,
+       proto::MigrateReq{engine_.state_vector(), interest_.keys(),
+                         config_.user},
+       [this, done = std::move(done)](Result<std::any> r) {
+         if (!r.ok()) {
+           done(r.error());
+           return;
+         }
+         const auto& resp =
+             std::any_cast<const proto::MigrateResp&>(r.value());
+         if (!resp.compatible) {
+           // The new DC is missing our dependencies (section 3.8); the
+           // caller may retry once the DC catches up.
+           done(Error{Error::Code::kIncompatible,
+                      "new DC lacks causal dependencies"});
+           return;
+         }
+         engine_.seed_state(resp.cut);
+         engine_.drain();
+         // Re-send unacknowledged transactions; the dot filter at the DCs
+         // drops duplicates.
+         pump_commits();
+         done(Result<void>{});
+       });
+}
+
+// ---------------------------------------------------------------------------
+// Peer group.
+// ---------------------------------------------------------------------------
+
+void EdgeNode::join_group(NodeId parent, DoneCb done) {
+  call(parent, proto::kGroupJoin,
+       proto::GroupJoinReq{id(), config_.user, engine_.state_vector(),
+                           interest_.keys()},
+       [this, parent, done = std::move(done)](Result<std::any> r) {
+         if (!r.ok()) {
+           done(r.error());
+           return;
+         }
+         const auto& resp =
+             std::any_cast<const proto::GroupJoinResp&>(r.value());
+         if (!resp.accepted) {
+           done(Error{Error::Code::kIncompatible,
+                      "group parent rejected join (causal incompatibility)"});
+           return;
+         }
+         Group g;
+         g.parent = parent;
+         g.epoch = resp.epoch;
+         g.members = resp.members;
+         if (group_) {
+           // Rejoin after a disconnection: carry over commands that were
+           // proposed into the old (dead) epoch so they get re-ordered.
+           g.undelivered = std::move(group_->undelivered);
+           g.pending_cmds = std::move(group_->pending_cmds);
+           g.ordered_waiting = std::move(group_->ordered_waiting);
+         }
+         // Locally committed but never group-delivered transactions from a
+         // fully offline phase also need (re-)proposal.
+         for (const Dot& dot : unacked_) {
+           if (!g.undelivered.contains(dot) && txns_.contains(dot)) {
+             const Transaction* txn = txns_.find(dot);
+             proto::GroupCommand gc;
+             gc.ordered = false;
+             gc.txn = *txn;
+             g.pending_cmds.emplace(
+                 dot,
+                 consensus::Command{dot, command_keys(*txn), gc.to_bytes()});
+             g.undelivered.insert(dot);
+           }
+         }
+         group_.emplace(std::move(g));
+         rebuild_epaxos();
+         // Repopulate the cache through the group's content-sharing
+         // network (section 6.3): relays missed while disconnected are
+         // recovered from the parent's snapshots.
+         const auto interest = interest_.keys();
+         if (!interest.empty()) {
+           subscribe(interest, [](Result<void>) {});
+         }
+         done(Result<void>{});
+       });
+}
+
+void EdgeNode::leave_group(DoneCb done) {
+  if (!group_) {
+    done(Result<void>{});
+    return;
+  }
+  const NodeId parent = group_->parent;
+  group_.reset();
+  call(parent, proto::kGroupLeave, proto::GroupLeaveReq{id()},
+       [done = std::move(done)](Result<std::any> /*r*/) {
+         done(Result<void>{});
+       });
+  // Fall back to direct DC attachment for any unacknowledged commits.
+  pump_commits();
+}
+
+void EdgeNode::schedule_nudge(consensus::InstanceId inst,
+                              std::uint64_t epoch) {
+  net_.scheduler().after(300 * kMillisecond, [this, inst, epoch] {
+    if (!group_ || group_->epoch != epoch) return;  // reconfigured
+    const auto status = group_->epaxos->status(inst);
+    if (status >= consensus::InstanceStatus::kCommitted ||
+        status == consensus::InstanceStatus::kNone) {
+      return;
+    }
+    group_->epaxos->nudge(inst);
+    schedule_nudge(inst, epoch);  // keep trying until it commits
+  });
+}
+
+void EdgeNode::rebuild_epaxos() {
+  COLONY_ASSERT(group_.has_value(), "no group to rebuild");
+  group_->epaxos = std::make_unique<consensus::Epaxos>(
+      id(), group_->members,
+      [this](NodeId to, const consensus::EpaxosMsg& msg) {
+        tell(to, proto::kEpaxos, proto::EpaxosEnvelope{group_->epoch, msg});
+      },
+      [this](const consensus::Command& cmd) { on_group_deliver(cmd); });
+  // Re-propose own undelivered commands in the new epoch.
+  for (const Dot& dot : group_->undelivered) {
+    const auto it = group_->pending_cmds.find(dot);
+    if (it != group_->pending_cmds.end()) {
+      const auto inst = group_->epaxos->propose(it->second);
+      schedule_nudge(inst, group_->epoch);
+    }
+  }
+}
+
+void EdgeNode::on_group_deliver(const consensus::Command& cmd) {
+  COLONY_ASSERT(group_.has_value(), "delivery without group");
+  const proto::GroupCommand gc = proto::GroupCommand::from_bytes(cmd.payload);
+  const Dot dot = gc.txn.meta.dot;
+
+  bool conflict = false;
+  if (gc.ordered) {
+    for (const auto& [key, expected] : gc.expected) {
+      const auto it = group_->seen_per_key.find(key);
+      if (it != group_->seen_per_key.end() && it->second > expected) {
+        conflict = true;
+        break;
+      }
+    }
+  }
+  for (const ObjectKey& key : cmd.keys) ++group_->seen_per_key[key];
+
+  if (gc.txn.meta.origin == id()) {
+    group_->undelivered.erase(dot);
+    group_->pending_cmds.erase(dot);
+    for (const ObjectKey& key : cmd.keys) {
+      auto it = group_->own_pending_per_key.find(key);
+      if (it != group_->own_pending_per_key.end() && it->second > 0) {
+        --it->second;
+      }
+    }
+    const auto wit = group_->ordered_waiting.find(dot);
+    if (wit != group_->ordered_waiting.end()) {
+      CommitCb cb = std::move(wit->second);
+      group_->ordered_waiting.erase(wit);
+      if (conflict) {
+        txns_.erase(dot);  // PSI write-write conflict: abort (section 5.1.4)
+        cb(Error{Error::Code::kAborted, "PSI write-write conflict"});
+        return;
+      }
+      engine_.apply_local(dot);
+      last_local_unresolved_ = dot;
+      unacked_.push_back(dot);
+      cb(dot);
+    }
+    return;  // variant-2 own transactions were applied at commit
+  }
+
+  if (conflict) return;  // deterministically aborted everywhere
+  engine_.ingest(gc.txn);
+  group_->apply_queue.push_back(dot);
+  drain_group_queue();
+}
+
+void EdgeNode::drain_group_queue() {
+  if (!group_) return;
+  while (!group_->apply_queue.empty()) {
+    const Dot dot = group_->apply_queue.front();
+    if (!engine_.apply_causal(dot)) break;  // strict SI order: head blocks
+    group_->apply_queue.pop_front();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Message handling.
+// ---------------------------------------------------------------------------
+
+void EdgeNode::on_message(NodeId from, std::uint32_t kind,
+                          const std::any& body) {
+  (void)from;
+  switch (kind) {
+    case proto::kPushTxn: {
+      const auto& msg = std::any_cast<const proto::PushTxn&>(body);
+      engine_.ingest(msg.txn);
+      drain_group_queue();
+      break;
+    }
+    case proto::kStateUpdate: {
+      const auto& msg = std::any_cast<const proto::StateUpdate&>(body);
+      engine_.seed_state(msg.cut);
+      engine_.drain();
+      drain_group_queue();
+      break;
+    }
+    case proto::kResolutionRelay: {
+      const auto& msg = std::any_cast<const proto::ResolutionMsg&>(body);
+      engine_.resolve_full(msg.dot, msg.dc, msg.ts, msg.resolved_snapshot);
+      const auto it = std::find(unacked_.begin(), unacked_.end(), msg.dot);
+      if (it != unacked_.end()) unacked_.erase(it);
+      if (last_local_unresolved_ == msg.dot) last_local_unresolved_.reset();
+      drain_group_queue();
+      if (const auto wit = ack_waiters_.find(msg.dot);
+          wit != ack_waiters_.end()) {
+        CommitCb cb = std::move(wit->second);
+        ack_waiters_.erase(wit);
+        cb(msg.dot);
+      }
+      if (unacked_.empty() && !pending_migrated_.empty()) {
+        std::vector<std::function<void()>> ready;
+        ready.swap(pending_migrated_);
+        for (auto& run : ready) run();
+      }
+      break;
+    }
+    case proto::kGroupMembership: {
+      const auto& msg = std::any_cast<const proto::MembershipMsg&>(body);
+      if (!group_) break;
+      if (std::find(msg.members.begin(), msg.members.end(), id()) ==
+          msg.members.end()) {
+        group_.reset();  // removed from the group
+        pump_commits();
+        break;
+      }
+      group_->epoch = msg.epoch;
+      group_->members = msg.members;
+      rebuild_epaxos();
+      break;
+    }
+    case proto::kEpaxos: {
+      const auto& env = std::any_cast<const proto::EpaxosEnvelope&>(body);
+      if (!group_ || env.epoch != group_->epoch) break;  // stale epoch
+      group_->epaxos->on_message(from, env.msg);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void EdgeNode::on_request(NodeId /*from*/, std::uint32_t method,
+                          const std::any& payload, ReplyFn reply) {
+  switch (method) {
+    case proto::kPeerFetch: {
+      // Collaborative cache: serve a neighbour from the local cache.
+      const auto& req = std::any_cast<const proto::PeerFetchReq&>(payload);
+      proto::PeerFetchResp resp;
+      if (auto snap = store_.export_snapshot(req.key)) {
+        resp.found = true;
+        resp.snapshot = std::move(*snap);
+      }
+      reply(std::any{resp});
+      break;
+    }
+    case proto::kGroupPing:
+      reply(std::any{true});
+      break;
+    default:
+      reply(Error{Error::Code::kInvalidArgument, "unknown edge method"});
+  }
+}
+
+}  // namespace colony

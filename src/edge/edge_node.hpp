@@ -1,0 +1,298 @@
+// Edge client node: local cache, asynchronous transaction runtime, offline
+// queue, peer-group membership, and migration.
+//
+// One EdgeNode models one far-edge device (phone, browser). It runs in one
+// of three client modes — the paper's evaluation configurations (§7.3):
+//
+//   kCloudOnly    "AntidoteDB": no local cache; every transaction executes
+//                 at the connected DC (kDcExecute).
+//   kClientCache  "SwiftCloud": local cache with interest-set
+//                 subscriptions; transactions execute and commit locally
+//                 and are acknowledged asynchronously by the DC (§3.7).
+//   kPeerGroup    "Colony": additionally a member of a peer group — an SI
+//                 zone ordered by EPaxos, with a collaborative cache and a
+//                 parent acting as sync point (§5.1).
+//
+// Reads report where they were served from (local cache / peer group / DC),
+// which is exactly the classification plotted in Figures 5-7.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "clock/hlc.hpp"
+#include "consensus/epaxos.hpp"
+#include "core/txn.hpp"
+#include "core/visibility.hpp"
+#include "dc/messages.hpp"
+#include "security/acl.hpp"
+#include "security/crypto_sim.hpp"
+#include "sim/rpc.hpp"
+#include "storage/cache.hpp"
+#include "storage/journal_store.hpp"
+
+namespace colony {
+
+enum class ClientMode {
+  kCloudOnly,    // AntidoteDB-like baseline
+  kClientCache,  // SwiftCloud-like baseline
+  kPeerGroup,    // full Colony
+};
+
+[[nodiscard]] const char* to_string(ClientMode m);
+
+/// Where a read was satisfied — the latency classes of Figures 5-7.
+enum class ReadSource : std::uint8_t {
+  kLocal = 0,  // client cache hit
+  kPeer = 1,   // peer-group collaborative cache hit
+  kDc = 2,     // remote read from the connected DC
+};
+
+[[nodiscard]] const char* to_string(ReadSource s);
+
+struct EdgeConfig {
+  ClientMode mode = ClientMode::kClientCache;
+  NodeId dc = 0;  // connected DC node id
+  UserId user = 0;
+  std::size_t num_dcs = 1;
+  std::size_t cache_capacity = 0;  // objects; 0 = unbounded
+  /// Commit backpressure: block new commits while this many transactions
+  /// await DC acknowledgement ("runs out of storage", §3).
+  std::size_t max_unacked = 256;
+  SimTime retry_interval = 500 * kMillisecond;
+};
+
+class EdgeNode final : public sim::RpcActor {
+ public:
+  EdgeNode(sim::Network& net, NodeId id, EdgeConfig config);
+
+  // --- interactive transactions (kClientCache / kPeerGroup) --------------
+
+  struct Txn {
+    std::uint64_t id = 0;
+    std::vector<OpRecord> ops;  // buffered updates, applied at commit
+  };
+
+  using ReadCb =
+      std::function<void(Result<std::shared_ptr<Crdt>>, ReadSource)>;
+  using DoneCb = std::function<void(Result<void>)>;
+  using CommitCb = std::function<void(Result<Dot>)>;
+
+  Txn begin();
+
+  /// Read `key` within `txn`: the transaction's snapshot plus its own
+  /// buffered updates. Cache hits call back synchronously; misses fetch
+  /// from the peer group (if any) and then the DC.
+  void read(Txn& txn, const ObjectKey& key, CrdtType type, ReadCb cb);
+
+  /// Buffer an update.
+  void update(Txn& txn, OpRecord op);
+
+  /// Commit locally (asynchronous DC acknowledgement, §3.7). In peer-group
+  /// mode this is the paper's *second* commit variant: EPaxos ordering is
+  /// off the critical path (§5.1.4). Fails with kUnavailable when the
+  /// unacked queue is full, and with kInvalidArgument in kCloudOnly mode.
+  Result<Dot> commit(Txn&& txn);
+
+  /// Peer-group commit variant 1 (PSI on the critical path, §5.1.4): the
+  /// transaction is submitted to EPaxos first and applies — or aborts on a
+  /// write-write conflict — when consensus orders it.
+  void commit_ordered(Txn&& txn, CommitCb cb);
+
+  /// Write-through commit (a §6.1 cache-policy option): commits locally
+  /// like commit(), then invokes `cb` once the DC has assigned the concrete
+  /// commit timestamp (durability in the cloud). The default commit() is
+  /// the write-back policy.
+  void commit_write_through(Txn&& txn, CommitCb cb);
+
+  // --- cloud-mode execution (kCloudOnly and migrated transactions §3.9) --
+
+  using CloudCb = std::function<void(Result<proto::DcExecuteResp>)>;
+  void cloud_execute(std::vector<ObjectKey> reads,
+                     std::vector<OpRecord> updates, CloudCb cb);
+
+  /// Migrate a resource-hungry transaction to the connected DC
+  /// (section 3.9): flushes this node's pending local commits, primes the
+  /// snapshot with the node's state vector, and executes at the DC with
+  /// the same effect as a local run — only performance differs.
+  void migrate_transaction(std::vector<ObjectKey> reads,
+                           std::vector<OpRecord> updates, CloudCb cb);
+
+  // --- reactive subscriptions (section 6.1) -------------------------------
+
+  using WatchCb = std::function<void(const ObjectKey&)>;
+  /// Invoke `cb` whenever a visible update touches `key` (including this
+  /// node's own commits). Returns a handle for unwatch.
+  std::uint64_t watch(const ObjectKey& key, WatchCb cb);
+  void unwatch(std::uint64_t handle);
+
+  // --- session management --------------------------------------------------
+
+  /// Declare interest and seed the cache from the DC (or the group parent).
+  void subscribe(std::vector<ObjectKey> keys, DoneCb done);
+
+  /// Open a session with the cloud session manager (section 6.2): obtain
+  /// one symmetric session key per bucket the user may read. Keys remain
+  /// valid across disconnection (section 5.3).
+  void open_session(std::vector<std::string> buckets, DoneCb done);
+  [[nodiscard]] std::optional<security::SessionKey> session_key(
+      const std::string& bucket) const;
+
+  /// Drop the whole cache (used to model a stale/invalid cache, Fig. 7).
+  void invalidate_cache();
+
+  // --- peer group ----------------------------------------------------------
+
+  void join_group(NodeId parent, DoneCb done);
+  void leave_group(DoneCb done);
+  [[nodiscard]] bool in_group() const { return group_.has_value(); }
+  [[nodiscard]] std::uint64_t group_epoch() const {
+    return group_ ? group_->epoch : 0;
+  }
+  /// Group consensus instance (nullptr outside a group) — for stats.
+  [[nodiscard]] const consensus::Epaxos* group_consensus() const {
+    return group_ ? group_->epaxos.get() : nullptr;
+  }
+
+  // --- migration (§3.8) ----------------------------------------------------
+
+  /// Re-attach to a different DC; unacknowledged transactions are re-sent
+  /// and deduplicated by dot at the DCs.
+  void migrate_to_dc(NodeId new_dc, DoneCb done);
+
+  // --- helpers for typed op preparation -----------------------------------
+
+  /// Fresh arbitration token (timestamp from this node's hybrid clock plus
+  /// a fresh dot); unique per call.
+  Arb make_arb();
+  Dot fresh_dot() { return Dot{id(), ++dot_counter_}; }
+
+  /// Current visible value (nullptr if not cached) for prepare-with-context
+  /// (e.g. OR-set remove needs observed tags).
+  [[nodiscard]] const Crdt* cached(const ObjectKey& key) const {
+    return store_.current(key);
+  }
+
+  /// Versioned read (section 4.1): materialise the cached object at an
+  /// older causal cut — only transactions visible at `cut` contribute.
+  /// Transactions already baked into an imported base version are always
+  /// included (the cut cannot reach below the base). nullptr if not cached.
+  [[nodiscard]] std::unique_ptr<Crdt> read_at(const ObjectKey& key,
+                                              const VersionVector& cut) const;
+  [[nodiscard]] bool is_cached(const ObjectKey& key) const {
+    return store_.has(key);
+  }
+
+  // --- introspection -------------------------------------------------------
+
+  [[nodiscard]] const EdgeConfig& config() const { return config_; }
+  [[nodiscard]] const VersionVector& state_vector() const {
+    return engine_.state_vector();
+  }
+  [[nodiscard]] std::size_t unacked_count() const { return unacked_.size(); }
+  [[nodiscard]] const VisibilityEngine& engine() const { return engine_; }
+  [[nodiscard]] const JournalStore& store() const { return store_; }
+  [[nodiscard]] NodeId connected_dc() const { return config_.dc; }
+  [[nodiscard]] std::uint64_t commits_issued() const { return commits_; }
+
+ protected:
+  void on_message(NodeId from, std::uint32_t kind,
+                  const std::any& body) override;
+  void on_request(NodeId from, std::uint32_t method, const std::any& payload,
+                  ReplyFn reply) override;
+
+ private:
+  struct Group {
+    NodeId parent = 0;
+    std::uint64_t epoch = 0;
+    std::vector<NodeId> members;  // includes the parent
+    std::unique_ptr<consensus::Epaxos> epaxos;
+    /// Own dots proposed but not yet delivered by consensus; re-proposed
+    /// on epoch change.
+    std::set<Dot> undelivered;
+    /// Group transactions delivered by EPaxos, applied strictly in
+    /// delivery order (the group visibility order).
+    std::deque<Dot> apply_queue;
+    /// PSI-variant commits awaiting their consensus slot.
+    std::map<Dot, CommitCb> ordered_waiting;
+    /// Commands proposed but undelivered, kept for re-proposal on epoch
+    /// change.
+    std::map<Dot, consensus::Command> pending_cmds;
+    /// Count of delivered commands per key (identical at every member);
+    /// the basis of the deterministic PSI conflict check.
+    std::map<ObjectKey, std::uint64_t> seen_per_key;
+    /// This node's own undelivered proposals per key (folded into the
+    /// conflict signature so a node does not conflict with itself).
+    std::map<ObjectKey, std::uint64_t> own_pending_per_key;
+  };
+
+  // Commit pump towards the DC (kClientCache mode).
+  void pump_commits();
+  void on_commit_ack(const Dot& dot, const proto::EdgeCommitResp& resp);
+  void notify_watchers(const Transaction& txn);
+
+  // Reads.
+  void finish_read(const Txn& txn, const ObjectKey& key, CrdtType type,
+                   ReadCb cb, ReadSource source);
+  void fetch_from_dc(const Txn& txn, const ObjectKey& key, CrdtType type,
+                     ReadCb cb);
+  void import_fetched(const ObjectSnapshot& snap, const VersionVector& cut);
+
+  // Cache admission/eviction.
+  void admit(const ObjectKey& key);
+
+  // Group plumbing.
+  void rebuild_epaxos();
+  /// Re-run the consensus slow path if a proposal stalls (a member died
+  /// before the fast quorum completed).
+  void schedule_nudge(consensus::InstanceId inst, std::uint64_t epoch);
+  void on_group_deliver(const consensus::Command& cmd);
+  void drain_group_queue();
+  Transaction make_transaction(Txn&& txn);
+  /// Interference keys for an EPaxos command: the updated objects plus a
+  /// synthetic per-origin key that chains a node's own commands in order.
+  [[nodiscard]] std::vector<ObjectKey> command_keys(
+      const Transaction& record) const;
+
+  EdgeConfig config_;
+  TxnStore txns_;
+  JournalStore store_;
+  VisibilityEngine engine_;
+  InterestSet interest_;
+  HybridLogicalClock hlc_;
+
+  std::uint64_t dot_counter_ = 0;
+  std::uint64_t txn_counter_ = 0;
+  std::uint64_t commits_ = 0;
+
+  /// Locally committed, not yet DC-acknowledged, in commit order.
+  std::deque<Dot> unacked_;
+  bool pump_in_flight_ = false;
+  /// Tail of this node's local-commit chain while unresolved (the symbolic
+  /// dependency of the next transaction, §3.7).
+  std::optional<Dot> last_local_unresolved_;
+
+  std::optional<Group> group_;
+
+  struct Watcher {
+    ObjectKey key;
+    WatchCb cb;
+  };
+  std::map<std::uint64_t, Watcher> watchers_;
+  std::uint64_t next_watcher_ = 1;
+
+  /// Migrated transactions waiting for the local commit chain to flush.
+  std::vector<std::function<void()>> pending_migrated_;
+
+  /// Write-through commits awaiting their DC acknowledgement.
+  std::map<Dot, CommitCb> ack_waiters_;
+
+  /// Session keys by bucket (section 6.2).
+  std::map<std::string, security::SessionKey> session_keys_;
+};
+
+}  // namespace colony

@@ -1,0 +1,465 @@
+#include "group/peer_group.hpp"
+
+#include <algorithm>
+
+#include "security/acl.hpp"
+#include "util/assert.hpp"
+
+namespace colony {
+
+PeerGroupParent::PeerGroupParent(sim::Network& net, NodeId id,
+                                 GroupParentConfig config)
+    : RpcActor(net, id),
+      config_(config),
+      keys_(config.session_key_seed),
+      engine_(txns_, store_, config.num_dcs) {
+  security::register_acl_crdt();
+  engine_.set_security_check([this](const Transaction& txn) {
+    const Crdt* obj = store_.current(security::acl_object_key());
+    return security::txn_allowed(
+        dynamic_cast<const security::AclObject*>(obj), txn);
+  });
+  engine_.set_policy_key(security::acl_object_key());
+  engine_.set_visible_hook([this](const Transaction& txn) {
+    for (const OpRecord& op : txn.ops) {
+      if (op.key == security::acl_object_key()) {
+        engine_.recompute_masks();
+        break;
+      }
+    }
+  });
+  rebuild_epaxos();
+  net.scheduler().after(config_.heartbeat_interval,
+                        [this] { heartbeat_tick(); });
+  // Open the DC session eagerly (empty interest): the DC then streams
+  // K-stable cut advances, so the parent's state vector tracks the world
+  // and joiners' causal-compatibility checks (section 5.2) pass without a
+  // first cache miss having to create the session as a side effect.
+  // Deferred one tick: the topology builder wires the uplink right after
+  // this constructor returns.
+  net.scheduler().after(10 * kMillisecond, [this] {
+    call(config_.dc, proto::kSubscribe, proto::SubscribeReq{{}, 0},
+         [this](Result<std::any> r) {
+           if (!r.ok()) return;
+           const auto& resp =
+               std::any_cast<const proto::SubscribeResp&>(r.value());
+           engine_.seed_state(resp.cut);
+           engine_.drain();
+         });
+  });
+}
+
+void PeerGroupParent::heartbeat_tick() {
+  for (const NodeId m : std::vector<NodeId>(members_.begin(),
+                                            members_.end())) {
+    call(m, proto::kGroupPing, std::any{},
+         [this, m](Result<std::any> r) {
+           if (r.ok()) {
+             missed_heartbeats_[m] = 0;
+             return;
+           }
+           if (++missed_heartbeats_[m] >= config_.heartbeat_misses) {
+             // The member is unreachable: reconfigure so the group's
+             // consensus regains a full quorum (section 5.1.1).
+             missed_heartbeats_.erase(m);
+             handle_leave(proto::GroupLeaveReq{m});
+           }
+         },
+         /*timeout=*/config_.heartbeat_interval / 2);
+  }
+  net_.scheduler().after(config_.heartbeat_interval,
+                         [this] { heartbeat_tick(); });
+}
+
+std::vector<NodeId> PeerGroupParent::members() const {
+  std::vector<NodeId> out{id()};
+  out.insert(out.end(), members_.begin(), members_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Membership.
+// ---------------------------------------------------------------------------
+
+void PeerGroupParent::broadcast_membership() {
+  const proto::MembershipMsg msg{epoch_, members()};
+  for (const NodeId m : members_) {
+    tell(m, proto::kGroupMembership, msg);
+  }
+}
+
+void PeerGroupParent::handle_join(NodeId from, const proto::GroupJoinReq& req,
+                                  ReplyFn reply) {
+  proto::GroupJoinResp resp;
+  // Causal compatibility (section 5.2): the group must be able to satisfy
+  // the joiner's dependencies. If the joiner is ahead of the parent the
+  // join is refused; the client may retry once the parent catches up.
+  if (!req.state.leq(engine_.state_vector())) {
+    resp.accepted = false;
+    reply(std::any{resp});
+    return;
+  }
+  members_.insert(req.node);
+  missed_heartbeats_.erase(req.node);  // fresh start for a rejoiner
+  auto& interest = member_interest_[req.node];
+  for (const ObjectKey& key : req.interest) {
+    interest.insert(key);
+    ensure_dc_interest(key);
+  }
+  ++epoch_;
+  resp.accepted = true;
+  resp.epoch = epoch_;
+  resp.members = members();
+  keys_.authorize("_group", req.user);
+  resp.session_key = keys_.key_for("_group", req.user).value_or(0);
+  reply(std::any{resp});
+  broadcast_membership();
+  rebuild_epaxos();
+  (void)from;
+}
+
+void PeerGroupParent::handle_leave(const proto::GroupLeaveReq& req) {
+  if (members_.erase(req.node) == 0) return;
+  member_interest_.erase(req.node);
+  ++epoch_;
+  broadcast_membership();
+  rebuild_epaxos();
+}
+
+// ---------------------------------------------------------------------------
+// Consensus (the parent is a full EPaxos member).
+// ---------------------------------------------------------------------------
+
+void PeerGroupParent::rebuild_epaxos() {
+  epaxos_ = std::make_unique<consensus::Epaxos>(
+      id(), members(),
+      [this](NodeId to, const consensus::EpaxosMsg& msg) {
+        tell(to, proto::kEpaxos, proto::EpaxosEnvelope{epoch_, msg});
+      },
+      [this](const consensus::Command& cmd) { on_group_deliver(cmd); });
+}
+
+void PeerGroupParent::on_group_deliver(const consensus::Command& cmd) {
+  const proto::GroupCommand gc = proto::GroupCommand::from_bytes(cmd.payload);
+  const Dot dot = gc.txn.meta.dot;
+
+  bool conflict = false;
+  if (gc.ordered) {
+    for (const auto& [key, expected] : gc.expected) {
+      const auto it = seen_per_key_.find(key);
+      if (it != seen_per_key_.end() && it->second > expected) {
+        conflict = true;
+        break;
+      }
+    }
+  }
+  for (const ObjectKey& key : cmd.keys) ++seen_per_key_[key];
+  if (conflict) return;  // deterministically aborted at every member
+
+  engine_.ingest(gc.txn);
+  apply_queue_.push_back(dot);
+  drain_apply_queue();
+
+  if (!forwarded_.contains(dot)) {
+    // A dot re-delivered across an epoch change may already be queued or
+    // in flight: enqueue at most once.
+    if (!forward_order_.contains(dot)) {
+      forward_order_.emplace(dot, next_forward_order_++);
+      forward_queue_.push_back(dot);
+      pump_forward();
+    }
+  } else {
+    // Re-proposed after an epoch change, but the DC already sequenced it
+    // in a previous epoch: relay the known commit info so the origin's
+    // unacked queue can drain.
+    const Transaction* txn = txns_.find(dot);
+    if (txn != nullptr && txn->meta.concrete) {
+      for (DcId dc = 0; dc < 32; ++dc) {
+        if (!txn->meta.accepted_by(dc)) continue;
+        const proto::ResolutionMsg relay{dot, dc, txn->meta.commit.at(dc),
+                                         txn->meta.snapshot};
+        for (const NodeId m : members_) {
+          tell(m, proto::kResolutionRelay, relay);
+        }
+        break;
+      }
+    }
+  }
+}
+
+void PeerGroupParent::drain_apply_queue() {
+  while (!apply_queue_.empty()) {
+    const Dot dot = apply_queue_.front();
+    if (!engine_.apply_causal(dot)) break;
+    apply_queue_.pop_front();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sync point: hand the group's visibility order to the DC (section 5.1.3).
+// ---------------------------------------------------------------------------
+
+void PeerGroupParent::pump_forward() {
+  // Pipelined, strictly in the EPaxos visibility order (section 5.1.3):
+  // that is the only order the DC may observe, because a later entry can
+  // causally depend on an earlier one in ways the vectors cannot express
+  // while commits are symbolic. Up to a window of forwards ride the FIFO
+  // uplink concurrently — the DC still receives and sequences them in
+  // order. The per-origin interference key guarantees an entry's symbolic
+  // deps are always *earlier* entries, so a dep is either resolved or in
+  // flight ahead of us.
+  constexpr std::size_t kForwardWindow = 16;
+
+  while (in_flight_.size() < kForwardWindow && !forward_queue_.empty()) {
+    const Dot dot = forward_queue_.front();
+    const Transaction* txn = txns_.find(dot);
+    COLONY_ASSERT(txn != nullptr, "forward queue references unknown txn");
+    // Forward optimistically: a symbolic dependency is normally in flight
+    // just ahead of us on the FIFO uplink, and an unknown one may have
+    // reached the DC directly (the origin committed it outside the group,
+    // e.g. while removed from the membership). If the DC truly lacks a
+    // dependency it answers kIncompatible, which requeues this entry in
+    // order and retries — self-healing even when epoch changes reordered
+    // deliveries.
+    forward_queue_.pop_front();
+    in_flight_.insert(dot);
+    call(config_.dc, proto::kEdgeCommit, proto::EdgeCommitReq{*txn},
+         [this, dot](Result<std::any> r) {
+           in_flight_.erase(dot);
+           if (r.ok()) {
+             const auto& resp =
+                 std::any_cast<const proto::EdgeCommitResp&>(r.value());
+             engine_.resolve_full(dot, resp.dc, resp.ts,
+                                  resp.resolved_snapshot);
+             forwarded_.insert(dot);
+             forward_order_.erase(dot);
+             drain_apply_queue();
+             const proto::ResolutionMsg relay{dot, resp.dc, resp.ts,
+                                              resp.resolved_snapshot};
+             for (const NodeId m : members_) {
+               tell(m, proto::kResolutionRelay, relay);
+             }
+             pump_forward();
+             return;
+           }
+           // Offline (Figure 5) or transiently incompatible: requeue in
+           // the original visibility order and retry later; the DC
+           // deduplicates by dot.
+           const auto pos = std::find_if(
+               forward_queue_.begin(), forward_queue_.end(),
+               [&](const Dot& other) {
+                 return forward_order_.at(other) > forward_order_.at(dot);
+               });
+           forward_queue_.insert(pos, dot);
+           if (!retry_scheduled_) {
+             retry_scheduled_ = true;
+             net_.scheduler().after(config_.retry_interval, [this] {
+               retry_scheduled_ = false;
+               pump_forward();
+             });
+           }
+         });
+  }
+}
+
+void PeerGroupParent::migrate_to_dc(NodeId new_dc, DoneCb done) {
+  const NodeId old_dc = config_.dc;
+  config_.dc = new_dc;
+  std::vector<ObjectKey> interest(dc_interest_.begin(), dc_interest_.end());
+  call(new_dc, proto::kMigrate,
+       proto::MigrateReq{engine_.state_vector(), std::move(interest), 0},
+       [this, old_dc, done = std::move(done)](Result<std::any> r) {
+         if (!r.ok()) {
+           config_.dc = old_dc;
+           done(r.error());
+           return;
+         }
+         const auto& resp =
+             std::any_cast<const proto::MigrateResp&>(r.value());
+         if (!resp.compatible) {
+           // The new DC lacks our causal past (section 3.8); stay put and
+           // let the caller retry once replication catches up.
+           config_.dc = old_dc;
+           done(Error{Error::Code::kIncompatible,
+                      "new DC lacks the group's causal dependencies"});
+           return;
+         }
+         engine_.seed_state(resp.cut);
+         engine_.drain();
+         drain_apply_queue();
+         // Anything the old DC never acknowledged goes again to the new
+         // one; dots filter duplicates (section 3.8).
+         pump_forward();
+         done(Result<void>{});
+       });
+}
+
+// ---------------------------------------------------------------------------
+// DC-side session: union interest set, push relay.
+// ---------------------------------------------------------------------------
+
+void PeerGroupParent::ensure_dc_interest(const ObjectKey& key) {
+  if (dc_interest_.contains(key)) return;
+  dc_interest_.insert(key);
+  call(config_.dc, proto::kFetchObject, proto::FetchReq{key, true, 0},
+       [this, key](Result<std::any> r) {
+         if (!r.ok()) {
+           if (r.error().code == Error::Code::kUnavailable) {
+             // Offline: forget the registration so the next miss (or the
+             // scheduled retry) re-subscribes once the uplink is back.
+             dc_interest_.erase(key);
+             net_.scheduler().after(config_.retry_interval, [this, key] {
+               ensure_dc_interest(key);
+             });
+           }
+           return;  // kNotFound: a fresh object, nothing to seed
+         }
+         const auto& resp = std::any_cast<const proto::FetchResp&>(r.value());
+         store_.import_snapshot(resp.snapshot);
+         engine_.reapply_missing(resp.snapshot.key, resp.snapshot);
+         engine_.seed_state(resp.cut);
+         engine_.drain();
+         drain_apply_queue();
+       });
+}
+
+void PeerGroupParent::relay_push(const Transaction& txn) {
+  for (const NodeId m : members_) {
+    const auto it = member_interest_.find(m);
+    if (it == member_interest_.end()) continue;
+    const bool interesting =
+        std::any_of(txn.ops.begin(), txn.ops.end(), [&](const OpRecord& op) {
+          return it->second.contains(op.key) ||
+                 op.key == security::acl_object_key();
+        });
+    if (interesting) {
+      tell(m, proto::kPushTxn, proto::PushTxn{txn});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Member-facing requests.
+// ---------------------------------------------------------------------------
+
+void PeerGroupParent::handle_member_subscribe(NodeId from,
+                                              const proto::SubscribeReq& req,
+                                              ReplyFn reply) {
+  auto& interest = member_interest_[from];
+  // Serve what the parent caches now; subscribe to the DC for the rest so
+  // later reads become collaborative-cache hits.
+  proto::SubscribeResp resp;
+  resp.cut = engine_.state_vector();
+  for (const ObjectKey& key : req.keys) {
+    interest.insert(key);
+    ensure_dc_interest(key);
+    if (auto snap = store_.export_snapshot(key)) {
+      resp.snapshots.push_back(std::move(*snap));
+    }
+  }
+  reply(std::any{resp});
+}
+
+void PeerGroupParent::handle_peer_fetch(NodeId from,
+                                        const proto::PeerFetchReq& req,
+                                        ReplyFn reply) {
+  proto::PeerFetchResp resp;
+  if (auto snap = store_.export_snapshot(req.key)) {
+    resp.found = true;
+    resp.snapshot = std::move(*snap);
+  }
+  if (req.subscribe) {
+    member_interest_[req.member == 0 ? from : req.member].insert(req.key);
+    ensure_dc_interest(req.key);  // background fill on a miss
+  }
+  reply(std::any{resp});
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+void PeerGroupParent::on_message(NodeId from, std::uint32_t kind,
+                                 const std::any& body) {
+  switch (kind) {
+    case proto::kEpaxos: {
+      const auto& env = std::any_cast<const proto::EpaxosEnvelope&>(body);
+      if (env.epoch != epoch_) break;
+      epaxos_->on_message(from, env.msg);
+      break;
+    }
+    case proto::kPushTxn: {
+      const auto& msg = std::any_cast<const proto::PushTxn&>(body);
+      engine_.ingest(msg.txn);
+      drain_apply_queue();
+      relay_push(msg.txn);
+      break;
+    }
+    case proto::kStateUpdate: {
+      const auto& msg = std::any_cast<const proto::StateUpdate&>(body);
+      engine_.seed_state(msg.cut);
+      engine_.drain();
+      drain_apply_queue();
+      for (const NodeId m : members_) {
+        tell(m, proto::kStateUpdate, msg);
+      }
+      pump_forward();
+      break;
+    }
+    case proto::kUnsubscribe: {
+      const auto& msg = std::any_cast<const proto::UnsubscribeMsg&>(body);
+      const auto it = member_interest_.find(from);
+      if (it != member_interest_.end()) {
+        for (const ObjectKey& key : msg.keys) it->second.erase(key);
+      }
+      break;
+    }
+    case proto::kInterestUpdate: {
+      const auto& msg = std::any_cast<const proto::InterestUpdate&>(body);
+      auto& interest = member_interest_[msg.node];
+      for (const ObjectKey& key : msg.keys) {
+        interest.insert(key);
+        ensure_dc_interest(key);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void PeerGroupParent::on_request(NodeId from, std::uint32_t method,
+                                 const std::any& payload, ReplyFn reply) {
+  switch (method) {
+    case proto::kGroupJoin:
+      handle_join(from, std::any_cast<const proto::GroupJoinReq&>(payload),
+                  std::move(reply));
+      break;
+    case proto::kGroupLeave:
+      handle_leave(std::any_cast<const proto::GroupLeaveReq&>(payload));
+      reply(std::any{true});
+      break;
+    case proto::kSubscribe:
+      handle_member_subscribe(
+          from, std::any_cast<const proto::SubscribeReq&>(payload),
+          std::move(reply));
+      break;
+    case proto::kPeerFetch:
+      handle_peer_fetch(from,
+                        std::any_cast<const proto::PeerFetchReq&>(payload),
+                        std::move(reply));
+      break;
+    case proto::kGroupCatchup: {
+      proto::CatchupResp resp;
+      resp.instances = epaxos_->committed_instances();
+      resp.cut = engine_.state_vector();
+      reply(std::any{resp});
+      break;
+    }
+    default:
+      reply(Error{Error::Code::kInvalidArgument, "unknown parent method"});
+  }
+}
+
+}  // namespace colony

@@ -1,0 +1,85 @@
+#include "security/crypto_sim.hpp"
+
+namespace colony::security {
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Bytes xor_keystream(SessionKey key, std::uint64_t nonce, const Bytes& input) {
+  Bytes out = input;
+  std::uint64_t stream_state = mix(key ^ mix(nonce));
+  std::uint64_t word = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (i % 8 == 0) {
+      stream_state = mix(stream_state);
+      word = stream_state;
+    }
+    out[i] ^= static_cast<std::uint8_t>(word >> ((i % 8) * 8));
+  }
+  return out;
+}
+
+std::uint64_t keyed_mac(SessionKey key, std::uint64_t nonce,
+                        const Bytes& data) {
+  std::uint64_t h = 14695981039346656037ULL ^ mix(key) ^ mix(nonce);
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+SealedPayload seal(const std::string& bucket, SessionKey key,
+                   std::uint64_t nonce, const Bytes& plaintext) {
+  SealedPayload out;
+  out.bucket = bucket;
+  out.nonce = nonce;
+  out.ciphertext = xor_keystream(key, nonce, plaintext);
+  out.mac = keyed_mac(key, nonce, plaintext);
+  return out;
+}
+
+std::optional<Bytes> open(const SealedPayload& sealed, SessionKey key) {
+  Bytes plaintext = xor_keystream(key, sealed.nonce, sealed.ciphertext);
+  if (keyed_mac(key, sealed.nonce, plaintext) != sealed.mac) {
+    return std::nullopt;
+  }
+  return plaintext;
+}
+
+void KeyService::authorize(const std::string& bucket, UserId user) {
+  authorized_[bucket].insert(user);
+}
+
+void KeyService::deauthorize(const std::string& bucket, UserId user) {
+  const auto it = authorized_.find(bucket);
+  if (it == authorized_.end()) return;
+  it->second.erase(user);
+  if (it->second.empty()) authorized_.erase(it);
+}
+
+std::optional<SessionKey> KeyService::key_for(const std::string& bucket,
+                                              UserId user) const {
+  if (!authorized(bucket, user)) return std::nullopt;
+  return derive(bucket);
+}
+
+bool KeyService::authorized(const std::string& bucket, UserId user) const {
+  const auto it = authorized_.find(bucket);
+  return it != authorized_.end() && it->second.contains(user);
+}
+
+SessionKey KeyService::derive(const std::string& bucket) const {
+  std::uint64_t h = seed_;
+  for (const char c : bucket) h = mix(h ^ static_cast<std::uint8_t>(c));
+  return h;
+}
+
+}  // namespace colony::security

@@ -1,0 +1,106 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace colony::sim {
+
+SimTime LatencyModel::sample(Rng& rng) const {
+  if (jitter == 0) return std::max<SimTime>(mean, 1);
+  const SimTime lo = mean > jitter ? mean - jitter : 1;
+  const SimTime hi = mean + jitter;
+  return std::max<SimTime>(rng.between(lo, hi), 1);
+}
+
+Actor::Actor(Network& net, NodeId id) : net_(net), id_(id) {
+  net_.register_actor(this);
+}
+
+Actor::~Actor() { net_.unregister_actor(id_); }
+
+void Network::register_actor(Actor* actor) {
+  const auto [_, inserted] = actors_.emplace(actor->id(), actor);
+  COLONY_ASSERT(inserted, "duplicate actor id registered");
+}
+
+void Network::unregister_actor(NodeId id) { actors_.erase(id); }
+
+void Network::connect(NodeId a, NodeId b, LatencyModel model) {
+  links_[{a, b}] = Link{model, true, 0};
+  links_[{b, a}] = Link{model, true, 0};
+}
+
+void Network::set_link_up(NodeId a, NodeId b, bool up) {
+  if (Link* l = find_link(a, b)) l->up = up;
+  if (Link* l = find_link(b, a)) l->up = up;
+}
+
+void Network::set_node_up(NodeId node, bool up) {
+  if (up) {
+    down_nodes_.erase(node);
+  } else {
+    down_nodes_.insert(node);
+  }
+}
+
+bool Network::node_up(NodeId node) const { return !down_nodes_.contains(node); }
+
+Network::Link* Network::find_link(NodeId from, NodeId to) {
+  const auto it = links_.find({from, to});
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+const Network::Link* Network::find_link(NodeId from, NodeId to) const {
+  const auto it = links_.find({from, to});
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+bool Network::link_exists(NodeId a, NodeId b) const {
+  return find_link(a, b) != nullptr;
+}
+
+bool Network::link_up(NodeId a, NodeId b) const {
+  const Link* l = find_link(a, b);
+  return l != nullptr && l->up;
+}
+
+void Network::send(NodeId from, NodeId to, std::uint32_t kind,
+                   std::any body) {
+  if (!node_up(from) || !node_up(to)) {
+    ++dropped_;
+    return;
+  }
+  Link* link = find_link(from, to);
+  if (link == nullptr || !link->up) {
+    ++dropped_;
+    return;
+  }
+  if (link->model.loss_rate > 0 && rng_.chance(link->model.loss_rate)) {
+    ++dropped_;
+    return;
+  }
+  SimTime deliver_at = sched_.now() + link->model.sample(rng_);
+  // FIFO per link: a later send is never delivered before an earlier one.
+  deliver_at = std::max(deliver_at, link->last_delivery);
+  link->last_delivery = deliver_at;
+
+  sched_.at(deliver_at,
+            [this, from, to, kind, body = std::move(body)]() mutable {
+              // Re-check liveness at delivery time: a node that crashed in
+              // flight does not receive the message.
+              if (!node_up(to)) {
+                ++dropped_;
+                return;
+              }
+              const auto it = actors_.find(to);
+              if (it == actors_.end()) {
+                ++dropped_;
+                return;
+              }
+              ++delivered_;
+              it->second->handle(from, kind, body);
+            });
+}
+
+}  // namespace colony::sim

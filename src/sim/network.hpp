@@ -1,0 +1,132 @@
+// Simulated network: point-to-point links with configurable latency,
+// jitter, loss and partitions.
+//
+// This substitutes for the paper's testbed transport (RabbitMQ between DCs,
+// WebRTC between peers, `tc`-shaped latencies; section 7.2). Links preserve
+// per-link FIFO order (TCP-like); a downed link or node silently drops
+// traffic, which upper layers detect via RPC timeouts — exactly the failure
+// signal the real system would see.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace colony::sim {
+
+/// Latency model of one link class.
+struct LatencyModel {
+  SimTime mean = kMillisecond;
+  SimTime jitter = 0;      // +- uniform jitter, clamped at >= 1us
+  double loss_rate = 0.0;  // independent per-message loss
+
+  [[nodiscard]] SimTime sample(Rng& rng) const;
+};
+
+/// The paper's latency constants (section 7.2).
+namespace latency {
+/// Intra-cluster / intra-DC: 0.15 ms measured in the authors' cluster.
+inline constexpr LatencyModel kIntraDc{150 * kMicrosecond, 50 * kMicrosecond};
+/// Inter-DC (geo mesh): carrier-grade tens of ms.
+inline constexpr LatencyModel kInterDc{30 * kMillisecond, 5 * kMillisecond};
+/// Carrier Ethernet edge uplink: 10 ms mean.
+inline constexpr LatencyModel kCarrierEthernet{10 * kMillisecond,
+                                               2 * kMillisecond};
+/// Mobile cellular uplink: 50 ms mean.
+inline constexpr LatencyModel kCellular{50 * kMillisecond, 10 * kMillisecond};
+/// Peer-to-peer WebRTC link inside a peer group (close proximity).
+inline constexpr LatencyModel kPeerLink{2 * kMillisecond,
+                                        500 * kMicrosecond};
+/// Local loopback (a node talking to itself, e.g. cache hit path).
+inline constexpr LatencyModel kLoopback{10 * kMicrosecond, 0};
+}  // namespace latency
+
+class Network;
+
+/// Base class of every simulated process (DC server, edge device, group
+/// parent...). Subclasses implement `handle` for one-way messages and
+/// `handle_request` for RPCs.
+class Actor {
+ public:
+  Actor(Network& net, NodeId id);
+  virtual ~Actor();
+
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+
+ protected:
+  friend class Network;
+
+  virtual void handle(NodeId from, std::uint32_t kind,
+                      const std::any& body) = 0;
+
+  Network& net_;
+
+ private:
+  NodeId id_;
+};
+
+/// The network fabric: actor registry, link table, message delivery.
+class Network {
+ public:
+  Network(Scheduler& sched, std::uint64_t seed)
+      : sched_(sched), rng_(seed) {}
+
+  Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] SimTime now() const { return sched_.now(); }
+  Rng& rng() { return rng_; }
+
+  /// Configure the (bidirectional) link between two nodes. Links are
+  /// implicitly up once configured.
+  void connect(NodeId a, NodeId b, LatencyModel model);
+
+  /// Take one direction or both down/up. Messages on a down link vanish.
+  void set_link_up(NodeId a, NodeId b, bool up);
+
+  /// Crash / recover a node: all its traffic is dropped while down.
+  void set_node_up(NodeId node, bool up);
+  [[nodiscard]] bool node_up(NodeId node) const;
+
+  /// Send a one-way message. Drops silently if no link, link down, either
+  /// endpoint down, or the loss dice say so.
+  void send(NodeId from, NodeId to, std::uint32_t kind, std::any body);
+
+  [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
+
+  [[nodiscard]] bool link_exists(NodeId a, NodeId b) const;
+  [[nodiscard]] bool link_up(NodeId a, NodeId b) const;
+
+ private:
+  friend class Actor;
+
+  struct Link {
+    LatencyModel model;
+    bool up = true;
+    SimTime last_delivery = 0;  // enforces per-link FIFO
+  };
+
+  void register_actor(Actor* actor);
+  void unregister_actor(NodeId id);
+
+  Link* find_link(NodeId from, NodeId to);
+  [[nodiscard]] const Link* find_link(NodeId from, NodeId to) const;
+
+  Scheduler& sched_;
+  Rng rng_;
+  std::unordered_map<NodeId, Actor*> actors_;
+  std::map<std::pair<NodeId, NodeId>, Link> links_;
+  std::set<NodeId> down_nodes_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace colony::sim

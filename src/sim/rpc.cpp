@@ -1,0 +1,57 @@
+#include "sim/rpc.hpp"
+
+#include "util/assert.hpp"
+
+namespace colony::sim {
+
+void RpcActor::call(NodeId to, std::uint32_t method, std::any payload,
+                    ResponseFn on_response, SimTime timeout) {
+  const std::uint64_t rpc_id = next_rpc_id_++;
+  pending_.emplace(rpc_id, std::move(on_response));
+
+  net_.send(id(), to, kRpcRequestKind,
+            RequestBody{rpc_id, method, std::move(payload)});
+
+  net_.scheduler().after(timeout, [this, rpc_id] {
+    const auto it = pending_.find(rpc_id);
+    if (it == pending_.end()) return;  // already answered
+    ResponseFn cb = std::move(it->second);
+    pending_.erase(it);
+    cb(Error{Error::Code::kUnavailable, "rpc timeout"});
+  });
+}
+
+void RpcActor::handle(NodeId from, std::uint32_t kind, const std::any& body) {
+  if (kind == kRpcRequestKind) {
+    const auto& req = std::any_cast<const RequestBody&>(body);
+    const std::uint64_t rpc_id = req.rpc_id;
+    const NodeId client = from;
+    auto reply = [this, client, rpc_id](Result<std::any> result) {
+      if (result.ok()) {
+        net_.send(id(), client, kRpcResponseKind,
+                  ResponseBody{rpc_id, true, std::move(result).value(), {}});
+      } else {
+        net_.send(id(), client, kRpcResponseKind,
+                  ResponseBody{rpc_id, false, {}, result.error().message});
+      }
+    };
+    on_request(from, req.method, req.payload, std::move(reply));
+    return;
+  }
+  if (kind == kRpcResponseKind) {
+    const auto& resp = std::any_cast<const ResponseBody&>(body);
+    const auto it = pending_.find(resp.rpc_id);
+    if (it == pending_.end()) return;  // timed out earlier; drop late reply
+    ResponseFn cb = std::move(it->second);
+    pending_.erase(it);
+    if (resp.ok) {
+      cb(resp.payload);
+    } else {
+      cb(Error{Error::Code::kUnavailable, resp.error});
+    }
+    return;
+  }
+  on_message(from, kind, body);
+}
+
+}  // namespace colony::sim

@@ -1,0 +1,73 @@
+// Asynchronous RPC over the simulated network.
+//
+// Request/response with correlation ids and timeouts. Servers may answer
+// asynchronously (e.g. a DC coordinator replies only after 2PC finishes) by
+// capturing the ReplyFn. A lost message or dead peer surfaces to the caller
+// as Error::kUnavailable after the timeout — the same signal a TCP/WebRTC
+// stack would deliver, which is what drives reconnection and migration.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "sim/network.hpp"
+#include "util/result.hpp"
+
+namespace colony::sim {
+
+/// Message kinds reserved by the RPC plumbing; protocol kinds must be below.
+inline constexpr std::uint32_t kRpcRequestKind = 0xFFFF0001;
+inline constexpr std::uint32_t kRpcResponseKind = 0xFFFF0002;
+
+inline constexpr SimTime kDefaultRpcTimeout = 2 * kSecond;
+
+class RpcActor : public Actor {
+ public:
+  using ResponseFn = std::function<void(Result<std::any>)>;
+  using ReplyFn = std::function<void(Result<std::any>)>;
+
+  RpcActor(Network& net, NodeId id) : Actor(net, id) {}
+
+  /// Issue an RPC. `on_response` fires exactly once: with the reply, or
+  /// with kUnavailable when the timeout elapses first.
+  void call(NodeId to, std::uint32_t method, std::any payload,
+            ResponseFn on_response, SimTime timeout = kDefaultRpcTimeout);
+
+  /// Fire-and-forget message.
+  void tell(NodeId to, std::uint32_t kind, std::any body) {
+    net_.send(id(), to, kind, std::move(body));
+  }
+
+ protected:
+  /// One-way messages (kinds outside the RPC plumbing).
+  virtual void on_message(NodeId from, std::uint32_t kind,
+                          const std::any& body) = 0;
+
+  /// Incoming RPC. Implementations must eventually invoke `reply` (calling
+  /// it after the client timed out is harmless — the client ignores it).
+  virtual void on_request(NodeId from, std::uint32_t method,
+                          const std::any& payload, ReplyFn reply) = 0;
+
+ private:
+  struct RequestBody {
+    std::uint64_t rpc_id;
+    std::uint32_t method;
+    std::any payload;
+  };
+  struct ResponseBody {
+    std::uint64_t rpc_id;
+    bool ok;
+    std::any payload;       // valid when ok
+    std::string error;      // valid when !ok
+  };
+
+  void handle(NodeId from, std::uint32_t kind, const std::any& body) final;
+
+  std::uint64_t next_rpc_id_ = 1;
+  std::unordered_map<std::uint64_t, ResponseFn> pending_;
+};
+
+}  // namespace colony::sim

@@ -1,0 +1,36 @@
+#include "sim/scheduler.hpp"
+
+#include "util/assert.hpp"
+
+namespace colony::sim {
+
+void Scheduler::at(SimTime when, Callback cb) {
+  COLONY_ASSERT(when >= now_, "cannot schedule an event in the past");
+  queue_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+bool Scheduler::step() {
+  if (queue_.empty()) return false;
+  // Moving out of a priority_queue requires const_cast; the element is
+  // popped immediately after, so this is safe.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.when;
+  ++executed_;
+  ev.cb();
+  return true;
+}
+
+void Scheduler::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    step();
+  }
+  now_ = std::max(now_, deadline);
+}
+
+void Scheduler::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace colony::sim

@@ -1,0 +1,40 @@
+#include "storage/cache.hpp"
+
+namespace colony {
+
+std::optional<ObjectKey> InterestSet::add(const ObjectKey& key) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return std::nullopt;
+  }
+  lru_.push_front(key);
+  index_[key] = lru_.begin();
+  if (capacity_ != 0 && index_.size() > capacity_) {
+    ObjectKey victim = lru_.back();
+    lru_.pop_back();
+    index_.erase(victim);
+    return victim;
+  }
+  return std::nullopt;
+}
+
+void InterestSet::touch(const ObjectKey& key) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+  }
+}
+
+void InterestSet::remove(const ObjectKey& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+std::vector<ObjectKey> InterestSet::keys() const {
+  return {lru_.begin(), lru_.end()};
+}
+
+}  // namespace colony

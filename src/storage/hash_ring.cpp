@@ -1,0 +1,45 @@
+#include "storage/hash_ring.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace colony {
+
+std::uint64_t HashRing::hash(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void HashRing::add_shard(std::uint32_t shard) {
+  COLONY_ASSERT(std::find(shards_.begin(), shards_.end(), shard) ==
+                    shards_.end(),
+                "shard already on the ring");
+  shards_.push_back(shard);
+  for (std::size_t v = 0; v < vnodes_per_shard_; ++v) {
+    const std::uint64_t point =
+        hash("vnode/" + std::to_string(shard) + "/" + std::to_string(v));
+    ring_.emplace(point, shard);
+  }
+}
+
+void HashRing::remove_shard(std::uint32_t shard) {
+  shards_.erase(std::remove(shards_.begin(), shards_.end(), shard),
+                shards_.end());
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    it = it->second == shard ? ring_.erase(it) : std::next(it);
+  }
+}
+
+std::uint32_t HashRing::owner(const ObjectKey& key) const {
+  COLONY_ASSERT(!ring_.empty(), "hash ring is empty");
+  const std::uint64_t point = hash(key.full());
+  const auto it = ring_.lower_bound(point);
+  return it == ring_.end() ? ring_.begin()->second : it->second;
+}
+
+}  // namespace colony

@@ -1,0 +1,28 @@
+// Invariant checking helpers.
+//
+// COLONY_ASSERT is active in all build types: the protocol invariants it
+// guards (causal cuts, vector monotonicity, quorum arithmetic) are cheap to
+// check and a violation means state corruption, so failing fast is always
+// preferable to continuing.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace colony::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "colony: assertion `%s` failed at %s:%d: %s\n", expr,
+               file, line, msg);
+  std::abort();
+}
+
+}  // namespace colony::detail
+
+#define COLONY_ASSERT(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::colony::detail::assert_fail(#expr, __FILE__, __LINE__, msg); \
+    }                                                                \
+  } while (false)

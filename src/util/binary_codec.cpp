@@ -1,0 +1,3 @@
+// The codec is header-only; this translation unit pins the library's symbols
+// and compiles the header standalone as a hygiene check.
+#include "util/binary_codec.hpp"

@@ -1,0 +1,116 @@
+// Binary serialization used for wire messages and journal persistence.
+//
+// Little-endian, varint-free fixed-width encoding: the paper sizes vector
+// components at 8 bytes (footnote 2) so we keep the same accounting, and
+// message sizes reported by the metadata ablation bench reflect it.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace colony {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Append-only encoder.
+class Encoder {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { fixed(v); }
+  void u32(std::uint32_t v) { fixed(v); }
+  void u64(std::uint64_t v) { fixed(v); }
+  void i64(std::int64_t v) { fixed(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    fixed(bits);
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  void bytes(const Bytes& b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  [[nodiscard]] const Bytes& data() const { return buf_; }
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void fixed(T v) {
+    std::uint8_t raw[sizeof(T)];
+    std::memcpy(raw, &v, sizeof(T));
+    buf_.insert(buf_.end(), raw, raw + sizeof(T));
+  }
+
+  Bytes buf_;
+};
+
+/// Sequential decoder over a byte buffer. Out-of-bounds reads are protocol
+/// corruption and abort.
+class Decoder {
+ public:
+  explicit Decoder(const Bytes& data) : data_(data) {}
+
+  std::uint8_t u8() { return take<std::uint8_t>(); }
+  std::uint16_t u16() { return take<std::uint16_t>(); }
+  std::uint32_t u32() { return take<std::uint32_t>(); }
+  std::uint64_t u64() { return take<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(take<std::uint64_t>()); }
+  double f64() {
+    const std::uint64_t bits = take<std::uint64_t>();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  bool boolean() { return u8() != 0; }
+
+  std::string str() {
+    const std::uint32_t n = u32();
+    require(n);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  Bytes bytes() {
+    const std::uint32_t n = u32();
+    require(n);
+    Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return b;
+  }
+
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  template <typename T>
+  T take() {
+    require(sizeof(T));
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  void require(std::size_t n) const {
+    COLONY_ASSERT(pos_ + n <= data_.size(), "decoder ran past end of buffer");
+  }
+
+  const Bytes& data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace colony

@@ -1,0 +1,93 @@
+// Minimal expected-style result type used for fallible protocol operations
+// where exceptions would obscure control flow (e.g. transaction commit
+// outcomes that are part of the normal protocol, not programming errors).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/assert.hpp"
+
+namespace colony {
+
+/// Error payload: a machine-readable code plus a human-readable message.
+struct Error {
+  enum class Code {
+    kUnavailable,      // required data or peer cannot be reached
+    kAborted,          // transaction aborted (conflict or semantic)
+    kIncompatible,     // causal incompatibility (migration, section 3.8)
+    kNotFound,         // object or entity does not exist
+    kPermissionDenied, // ACL check failed
+    kInvalidArgument,  // caller misuse detected at run time
+  };
+
+  Code code;
+  std::string message;
+};
+
+[[nodiscard]] constexpr const char* to_string(Error::Code c) {
+  switch (c) {
+    case Error::Code::kUnavailable: return "unavailable";
+    case Error::Code::kAborted: return "aborted";
+    case Error::Code::kIncompatible: return "incompatible";
+    case Error::Code::kNotFound: return "not-found";
+    case Error::Code::kPermissionDenied: return "permission-denied";
+    case Error::Code::kInvalidArgument: return "invalid-argument";
+  }
+  return "unknown";
+}
+
+/// Result<T> holds either a value or an Error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : payload_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(payload_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    COLONY_ASSERT(ok(), "Result::value on error");
+    return std::get<T>(payload_);
+  }
+  [[nodiscard]] T& value() & {
+    COLONY_ASSERT(ok(), "Result::value on error");
+    return std::get<T>(payload_);
+  }
+  [[nodiscard]] T&& value() && {
+    COLONY_ASSERT(ok(), "Result::value on error");
+    return std::get<T>(std::move(payload_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    COLONY_ASSERT(!ok(), "Result::error on value");
+    return std::get<Error>(payload_);
+  }
+
+ private:
+  std::variant<T, Error> payload_;
+};
+
+/// Result<void> specialisation: success carries no payload.
+template <>
+class Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error)), has_error_(true) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return !has_error_; }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const Error& error() const {
+    COLONY_ASSERT(has_error_, "Result::error on value");
+    return error_;
+  }
+
+ private:
+  Error error_{};
+  bool has_error_ = false;
+};
+
+}  // namespace colony

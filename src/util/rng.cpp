@@ -1,0 +1,113 @@
+#include "util/rng.hpp"
+
+#include <numbers>
+
+namespace colony {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64 expands the seed into the full xoshiro state.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  COLONY_ASSERT(bound > 0, "Rng::below(0)");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::uint64_t Rng::between(std::uint64_t lo, std::uint64_t hi) {
+  COLONY_ASSERT(lo <= hi, "Rng::between: lo > hi");
+  return lo + below(hi - lo + 1);
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double probability) { return uniform() < probability; }
+
+double Rng::exponential(double mean) {
+  COLONY_ASSERT(mean > 0, "exponential mean must be positive");
+  double u = uniform();
+  if (u <= 0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1 = uniform();
+  if (u1 <= 0) u1 = 0x1.0p-53;
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::pareto(double x_min, double alpha) {
+  COLONY_ASSERT(x_min > 0 && alpha > 0, "pareto parameters must be positive");
+  double u = uniform();
+  if (u <= 0) u = 0x1.0p-53;
+  return x_min / std::pow(u, 1.0 / alpha);
+}
+
+std::size_t Rng::skewed_index(std::size_t n, double alpha) {
+  COLONY_ASSERT(n > 0, "skewed_index over empty range");
+  // Map a Pareto sample onto [0, n): sample >= 1, subtract 1, clamp.
+  const double p = pareto(1.0, alpha) - 1.0;
+  // Scale so most mass lands on small indices regardless of n.
+  auto idx = static_cast<std::size_t>(p * static_cast<double>(n) * 0.25);
+  return idx < n ? idx : n - 1;
+}
+
+Weighted::Weighted(std::vector<double> weights) {
+  COLONY_ASSERT(!weights.empty(), "Weighted needs at least one weight");
+  double total = 0;
+  cumulative_.reserve(weights.size());
+  for (double w : weights) {
+    COLONY_ASSERT(w >= 0, "Weighted weights must be non-negative");
+    total += w;
+    cumulative_.push_back(total);
+  }
+  COLONY_ASSERT(total > 0, "Weighted weights must not all be zero");
+}
+
+std::size_t Weighted::sample(Rng& rng) const {
+  const double target = rng.uniform() * cumulative_.back();
+  for (std::size_t i = 0; i < cumulative_.size(); ++i) {
+    if (target < cumulative_[i]) return i;
+  }
+  return cumulative_.size() - 1;
+}
+
+}  // namespace colony

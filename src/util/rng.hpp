@@ -1,0 +1,65 @@
+// Deterministic random number generation and workload distributions.
+//
+// All randomness in the simulator and the workload generator flows through
+// Rng so that every experiment is exactly reproducible from its seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace colony {
+
+/// xoshiro256** — fast, high-quality, deterministic PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform over the full 64-bit range.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial.
+  bool chance(double probability);
+
+  /// Exponential with the given mean (for inter-arrival times).
+  double exponential(double mean);
+
+  /// Normal via Box-Muller.
+  double normal(double mean, double stddev);
+
+  /// Pareto (type I) sample with scale x_m and shape alpha. The paper's
+  /// workload uses Pareto 80/20 skew (section 7.1); shape ~1.16 yields it.
+  double pareto(double x_min, double alpha);
+
+  /// Zipf-like pick: index in [0, n) where low indices are favoured with
+  /// Pareto-derived skew. Used to pick "hot" users/channels.
+  std::size_t skewed_index(std::size_t n, double alpha);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Weighted discrete distribution over indices (alias-free linear scan;
+/// fine for the small category counts used in the workload).
+class Weighted {
+ public:
+  explicit Weighted(std::vector<double> weights);
+
+  std::size_t sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace colony

@@ -1,0 +1,181 @@
+#include "security/acl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crdt/counter.hpp"
+
+namespace colony::security {
+namespace {
+
+constexpr UserId kAlice = 1;
+constexpr UserId kBob = 2;
+constexpr UserId kCarl = 3;
+
+TEST(AclObject, GrantAndCheck) {
+  AclObject acl;
+  acl.apply(AclObject::prepare_grant({"book", kAlice, Permission::kOwn},
+                                     Dot{1, 1}));
+  EXPECT_TRUE(acl.check("book", kAlice, Permission::kOwn));
+  EXPECT_FALSE(acl.check("book", kBob, Permission::kOwn));
+  EXPECT_FALSE(acl.check("shelf", kAlice, Permission::kOwn));
+}
+
+TEST(AclObject, PermissionImplication) {
+  AclObject acl;
+  acl.apply(AclObject::prepare_grant({"x", kAlice, Permission::kOwn},
+                                     Dot{1, 1}));
+  acl.apply(AclObject::prepare_grant({"y", kBob, Permission::kWrite},
+                                     Dot{1, 2}));
+  // own => write => read
+  EXPECT_TRUE(acl.check("x", kAlice, Permission::kWrite));
+  EXPECT_TRUE(acl.check("x", kAlice, Permission::kRead));
+  EXPECT_TRUE(acl.check("y", kBob, Permission::kRead));
+  EXPECT_FALSE(acl.check("y", kBob, Permission::kOwn));
+}
+
+TEST(AclObject, RevokeRemovesGrant) {
+  AclObject acl;
+  const AclTuple t{"book", kAlice, Permission::kWrite};
+  acl.apply(AclObject::prepare_grant(t, Dot{1, 1}));
+  acl.apply(acl.prepare_revoke(t));
+  EXPECT_FALSE(acl.check("book", kAlice, Permission::kWrite));
+  EXPECT_EQ(acl.grant_count(), 0u);
+}
+
+TEST(AclObject, GrantWinsOverConcurrentRevoke) {
+  // Observed-remove semantics on grants: a revoke only clears the grant
+  // tags its issuer observed; a concurrent re-grant survives.
+  AclObject base;
+  const AclTuple t{"book", kAlice, Permission::kWrite};
+  const auto grant1 = AclObject::prepare_grant(t, Dot{1, 1});
+  base.apply(grant1);
+  const auto revoke = base.prepare_revoke(t);
+  const auto grant2 = AclObject::prepare_grant(t, Dot{2, 1});
+
+  AclObject a;
+  a.apply(grant1); a.apply(grant2); a.apply(revoke);
+  EXPECT_TRUE(a.check("book", kAlice, Permission::kWrite));
+
+  AclObject b;
+  b.apply(grant1); b.apply(revoke); b.apply(grant2);
+  EXPECT_TRUE(b.check("book", kAlice, Permission::kWrite));
+}
+
+TEST(AclObject, ObjectInheritance) {
+  // The paper's C2 example: the book sits on a shelf readable by Bob.
+  AclObject acl;
+  acl.apply(AclObject::prepare_grant({"shelf", kBob, Permission::kRead},
+                                     Dot{1, 1}));
+  acl.apply(AclObject::prepare_set_object_parent("book", "shelf",
+                                                 Arb{1, {1, 2}}));
+  EXPECT_TRUE(acl.check("book", kBob, Permission::kRead));
+  EXPECT_FALSE(acl.check("book", kCarl, Permission::kRead));
+}
+
+TEST(AclObject, UserInheritance) {
+  AclObject acl;
+  acl.apply(AclObject::prepare_grant({"doc", kAlice, Permission::kWrite},
+                                     Dot{1, 1}));
+  acl.apply(AclObject::prepare_set_user_parent(kBob, kAlice, Arb{1, {1, 2}}));
+  EXPECT_TRUE(acl.check("doc", kBob, Permission::kWrite));
+  EXPECT_FALSE(acl.check("doc", kCarl, Permission::kWrite));
+}
+
+TEST(AclObject, CombinedForests) {
+  AclObject acl;
+  acl.apply(AclObject::prepare_grant({"shelf", kAlice, Permission::kRead},
+                                     Dot{1, 1}));
+  acl.apply(AclObject::prepare_set_object_parent("book", "shelf",
+                                                 Arb{1, {1, 2}}));
+  acl.apply(AclObject::prepare_set_user_parent(kBob, kAlice, Arb{2, {1, 3}}));
+  EXPECT_TRUE(acl.check("book", kBob, Permission::kRead));
+}
+
+TEST(AclObject, ParentUpdateIsLww) {
+  AclObject acl;
+  acl.apply(AclObject::prepare_set_object_parent("book", "shelf1",
+                                                 Arb{1, {1, 1}}));
+  acl.apply(AclObject::prepare_set_object_parent("book", "shelf2",
+                                                 Arb{2, {1, 2}}));
+  EXPECT_EQ(acl.object_parent("book"), "shelf2");
+  // Stale update loses.
+  acl.apply(AclObject::prepare_set_object_parent("book", "shelf0",
+                                                 Arb{1, {2, 1}}));
+  EXPECT_EQ(acl.object_parent("book"), "shelf2");
+}
+
+TEST(AclObject, InheritanceCycleTerminates) {
+  AclObject acl;
+  acl.apply(AclObject::prepare_set_object_parent("a", "b", Arb{1, {1, 1}}));
+  acl.apply(AclObject::prepare_set_object_parent("b", "a", Arb{2, {1, 2}}));
+  EXPECT_FALSE(acl.check("a", kAlice, Permission::kRead));  // no hang
+}
+
+TEST(AclObject, SnapshotRoundTrip) {
+  AclObject acl;
+  acl.apply(AclObject::prepare_grant({"x", kAlice, Permission::kOwn},
+                                     Dot{1, 1}));
+  acl.apply(AclObject::prepare_set_object_parent("y", "x", Arb{1, {1, 2}}));
+  acl.apply(AclObject::prepare_set_user_parent(kBob, kAlice, Arb{2, {1, 3}}));
+  AclObject copy;
+  copy.restore(acl.snapshot());
+  EXPECT_TRUE(copy.check("y", kBob, Permission::kWrite));
+  EXPECT_EQ(copy.grant_count(), 1u);
+}
+
+TEST(AclObject, RegisteredWithFactory) {
+  register_acl_crdt();
+  const auto obj = make_crdt(CrdtType::kAcl);
+  ASSERT_NE(obj, nullptr);
+  EXPECT_EQ(obj->type(), CrdtType::kAcl);
+}
+
+// --- txn_allowed (deferred enforcement predicate) ---------------------------
+
+Transaction data_txn(UserId user, const ObjectKey& key) {
+  Transaction txn;
+  txn.meta.dot = Dot{1, 1};
+  txn.meta.user = user;
+  txn.ops.push_back(
+      OpRecord{key, CrdtType::kPnCounter, PnCounter::prepare_add(1)});
+  return txn;
+}
+
+TEST(TxnAllowed, OpenPolicyAllowsAll) {
+  EXPECT_TRUE(txn_allowed(nullptr, data_txn(kAlice, {"b", "x"})));
+  AclObject empty;
+  EXPECT_TRUE(txn_allowed(&empty, data_txn(kAlice, {"b", "x"})));
+}
+
+TEST(TxnAllowed, WriteRequiresGrant) {
+  AclObject acl;
+  acl.apply(AclObject::prepare_grant({"x", kAlice, Permission::kWrite},
+                                     Dot{1, 1}));
+  EXPECT_TRUE(txn_allowed(&acl, data_txn(kAlice, {"b", "x"})));
+  EXPECT_FALSE(txn_allowed(&acl, data_txn(kBob, {"b", "x"})));
+}
+
+TEST(TxnAllowed, BucketGrantCoversObjects) {
+  AclObject acl;
+  acl.apply(AclObject::prepare_grant({"chat", kAlice, Permission::kWrite},
+                                     Dot{1, 1}));
+  EXPECT_TRUE(txn_allowed(&acl, data_txn(kAlice, {"chat", "anything"})));
+  EXPECT_FALSE(txn_allowed(&acl, data_txn(kAlice, {"other", "x"})));
+}
+
+TEST(TxnAllowed, AclUpdatesRequireOwn) {
+  AclObject acl;
+  acl.apply(AclObject::prepare_grant({"_sys", kAlice, Permission::kOwn},
+                                     Dot{1, 1}));
+  Transaction txn;
+  txn.meta.user = kAlice;
+  txn.ops.push_back(OpRecord{
+      acl_object_key(), CrdtType::kAcl,
+      AclObject::prepare_grant({"x", kBob, Permission::kRead}, Dot{1, 2})});
+  EXPECT_TRUE(txn_allowed(&acl, txn));
+  txn.meta.user = kBob;
+  EXPECT_FALSE(txn_allowed(&acl, txn));
+}
+
+}  // namespace
+}  // namespace colony::security

@@ -1,0 +1,94 @@
+#include "util/binary_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace colony {
+namespace {
+
+TEST(BinaryCodec, RoundTripsScalars) {
+  Encoder enc;
+  enc.u8(0x7f);
+  enc.u16(0xbeef);
+  enc.u32(0xdeadbeef);
+  enc.u64(0x0123456789abcdefULL);
+  enc.i64(-42);
+  enc.f64(3.14159);
+  enc.boolean(true);
+  enc.boolean(false);
+
+  Decoder dec(enc.data());
+  EXPECT_EQ(dec.u8(), 0x7f);
+  EXPECT_EQ(dec.u16(), 0xbeef);
+  EXPECT_EQ(dec.u32(), 0xdeadbeefu);
+  EXPECT_EQ(dec.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(dec.i64(), -42);
+  EXPECT_DOUBLE_EQ(dec.f64(), 3.14159);
+  EXPECT_TRUE(dec.boolean());
+  EXPECT_FALSE(dec.boolean());
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(BinaryCodec, RoundTripsStringsAndBytes) {
+  Encoder enc;
+  enc.str("");
+  enc.str("hello colony");
+  enc.str(std::string("emb\0edded", 9));
+  enc.bytes(Bytes{1, 2, 3, 255});
+  enc.bytes(Bytes{});
+
+  Decoder dec(enc.data());
+  EXPECT_EQ(dec.str(), "");
+  EXPECT_EQ(dec.str(), "hello colony");
+  EXPECT_EQ(dec.str(), std::string("emb\0edded", 9));
+  EXPECT_EQ(dec.bytes(), (Bytes{1, 2, 3, 255}));
+  EXPECT_EQ(dec.bytes(), Bytes{});
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(BinaryCodec, RoundTripsExtremeValues) {
+  Encoder enc;
+  enc.u64(std::numeric_limits<std::uint64_t>::max());
+  enc.i64(std::numeric_limits<std::int64_t>::min());
+  enc.f64(-0.0);
+  enc.f64(std::numeric_limits<double>::infinity());
+
+  Decoder dec(enc.data());
+  EXPECT_EQ(dec.u64(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(dec.i64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(dec.f64(), 0.0);
+  EXPECT_EQ(dec.f64(), std::numeric_limits<double>::infinity());
+}
+
+TEST(BinaryCodec, RemainingTracksProgress) {
+  Encoder enc;
+  enc.u32(5);
+  enc.u32(6);
+  Decoder dec(enc.data());
+  EXPECT_EQ(dec.remaining(), 8u);
+  dec.u32();
+  EXPECT_EQ(dec.remaining(), 4u);
+  dec.u32();
+  EXPECT_EQ(dec.remaining(), 0u);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(BinaryCodecDeath, OverrunAborts) {
+  Encoder enc;
+  enc.u8(1);
+  Decoder dec(enc.data());
+  dec.u8();
+  EXPECT_DEATH(dec.u32(), "decoder ran past end");
+}
+
+TEST(BinaryCodec, TakeMovesBuffer) {
+  Encoder enc;
+  enc.u32(7);
+  const Bytes data = enc.take();
+  EXPECT_EQ(data.size(), 4u);
+  EXPECT_EQ(enc.size(), 0u);
+}
+
+}  // namespace
+}  // namespace colony

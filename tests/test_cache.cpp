@@ -1,0 +1,77 @@
+#include "storage/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace colony {
+namespace {
+
+ObjectKey key(int i) { return ObjectKey{"b", "k" + std::to_string(i)}; }
+
+TEST(InterestSet, UnboundedNeverEvicts) {
+  InterestSet set(0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(set.add(key(i)).has_value());
+  }
+  EXPECT_EQ(set.size(), 1000u);
+}
+
+TEST(InterestSet, EvictsLeastRecentlyUsed) {
+  InterestSet set(2);
+  EXPECT_FALSE(set.add(key(1)).has_value());
+  EXPECT_FALSE(set.add(key(2)).has_value());
+  const auto victim = set.add(key(3));
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, key(1));
+  EXPECT_FALSE(set.contains(key(1)));
+  EXPECT_TRUE(set.contains(key(2)));
+  EXPECT_TRUE(set.contains(key(3)));
+}
+
+TEST(InterestSet, TouchRefreshesRecency) {
+  InterestSet set(2);
+  set.add(key(1));
+  set.add(key(2));
+  set.touch(key(1));  // 2 becomes the LRU
+  const auto victim = set.add(key(3));
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, key(2));
+}
+
+TEST(InterestSet, ReAddRefreshesWithoutEviction) {
+  InterestSet set(2);
+  set.add(key(1));
+  set.add(key(2));
+  EXPECT_FALSE(set.add(key(1)).has_value());  // refresh, no growth
+  const auto victim = set.add(key(3));
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, key(2));
+}
+
+TEST(InterestSet, RemoveFreesSlot) {
+  InterestSet set(2);
+  set.add(key(1));
+  set.add(key(2));
+  set.remove(key(1));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_FALSE(set.add(key(3)).has_value());
+}
+
+TEST(InterestSet, RemoveAbsentIsNoop) {
+  InterestSet set(2);
+  set.remove(key(9));
+  EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(InterestSet, KeysMostRecentFirst) {
+  InterestSet set(0);
+  set.add(key(1));
+  set.add(key(2));
+  set.touch(key(1));
+  const auto keys = set.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], key(1));
+  EXPECT_EQ(keys[1], key(2));
+}
+
+}  // namespace
+}  // namespace colony

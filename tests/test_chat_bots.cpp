@@ -1,0 +1,116 @@
+// Bot behaviour in the ColonyChat driver: bots react to messages on their
+// subscribed channel through the reactive watch API (paper section 7.1:
+// "bots act randomly upon receiving a message on the channel they have
+// subscribed to" and "generate a large number of update transactions").
+#include <gtest/gtest.h>
+
+#include "chat/driver.hpp"
+#include "crdt/or_set.hpp"
+#include "crdt/rga.hpp"
+
+namespace colony::chat {
+namespace {
+
+TEST(ChatBots, BotsGenerateReactions) {
+  ClusterConfig cluster_cfg;
+  Cluster cluster(cluster_cfg);
+
+  ChatDriverConfig cfg;
+  cfg.mode = ClientMode::kClientCache;
+  cfg.clients = 10;
+  cfg.trace.num_users = 10;
+  cfg.trace.bot_fraction = 0.5;  // plenty of bots
+  cfg.trace.channels_per_workspace = 2;  // dense channel sharing
+  cfg.trace.num_workspaces = 1;
+  cfg.think_time = 50 * kMillisecond;
+  cfg.seed = 77;
+  ChatDriver driver(cluster, cfg);
+  driver.start();
+  cluster.run_for(20 * kSecond);
+  driver.stop();
+  cluster.run_for(2 * kSecond);
+
+  // Bot reactions land in channel sequences as "botNNN: ack" messages.
+  std::size_t bot_messages = 0;
+  for (std::size_t ws = 0; ws < 1; ++ws) {
+    for (std::size_t ch = 0; ch < 2; ++ch) {
+      const auto* seq = dynamic_cast<const Rga*>(
+          cluster.dc(0).store().current(channel_messages_key(ws, ch)));
+      if (seq == nullptr) continue;
+      for (const auto& msg : seq->values()) {
+        if (msg.starts_with("bot") && msg.ends_with(": ack")) {
+          ++bot_messages;
+        }
+      }
+    }
+  }
+  EXPECT_GT(bot_messages, 0u);
+}
+
+TEST(ChatBots, NoBotsNoReactions) {
+  ClusterConfig cluster_cfg;
+  Cluster cluster(cluster_cfg);
+  ChatDriverConfig cfg;
+  cfg.mode = ClientMode::kClientCache;
+  cfg.clients = 6;
+  cfg.trace.num_users = 6;
+  cfg.trace.bot_fraction = 0.0;
+  cfg.trace.num_workspaces = 1;
+  cfg.trace.channels_per_workspace = 2;
+  cfg.think_time = 50 * kMillisecond;
+  cfg.seed = 78;
+  ChatDriver driver(cluster, cfg);
+  driver.start();
+  cluster.run_for(10 * kSecond);
+  driver.stop();
+  cluster.run_for(2 * kSecond);
+
+  for (std::size_t ch = 0; ch < 2; ++ch) {
+    const auto* seq = dynamic_cast<const Rga*>(
+        cluster.dc(0).store().current(channel_messages_key(0, ch)));
+    if (seq == nullptr) continue;
+    for (const auto& msg : seq->values()) {
+      EXPECT_FALSE(msg.starts_with("bot") && msg.ends_with(": ack")) << msg;
+    }
+  }
+}
+
+TEST(ChatBots, WorkspaceMembershipInvariant) {
+  // The atomic seeding transaction maintains "user in workspace iff
+  // workspace in user's profile" (section 7.1).
+  ClusterConfig cluster_cfg;
+  Cluster cluster(cluster_cfg);
+  ChatDriverConfig cfg;
+  cfg.mode = ClientMode::kClientCache;
+  cfg.clients = 8;
+  cfg.trace.num_users = 8;
+  cfg.trace.num_workspaces = 2;
+  cfg.seed = 79;
+  ChatDriver driver(cluster, cfg);
+  driver.start();
+  cluster.run_for(10 * kSecond);
+  driver.stop();
+  cluster.run_for(2 * kSecond);
+
+  std::size_t cross_checked = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const UserId user = 1000 + i;
+    const auto* user_ws = dynamic_cast<const OrSet*>(
+        cluster.dc(0).store().current(user_workspaces_key(user)));
+    if (user_ws == nullptr) continue;
+    for (const auto& ws_str : user_ws->elements()) {
+      const std::size_t ws = std::stoul(ws_str);
+      const auto* members = dynamic_cast<const OrSet*>(
+          cluster.dc(0).store().current(workspace_members_key(ws)));
+      ASSERT_NE(members, nullptr);
+      EXPECT_TRUE(members->contains(
+          member_element(user, MemberStatus::kOrdinary)))
+          << "user " << user << " workspace " << ws;
+      ++cross_checked;
+    }
+  }
+  EXPECT_GT(cross_checked, 0u);
+}
+
+}  // namespace
+}  // namespace colony::chat

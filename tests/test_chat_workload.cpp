@@ -1,0 +1,140 @@
+// ColonyChat workload machinery: trace statistics and a short end-to-end
+// run in each client mode.
+#include <gtest/gtest.h>
+
+#include "chat/driver.hpp"
+
+namespace colony::chat {
+namespace {
+
+TEST(Trace, RespectsReadWriteRatio) {
+  TraceConfig cfg;
+  cfg.bot_fraction = 0.0;
+  cfg.write_ratio = 0.10;
+  Rng rng(3);
+  UserScript script(cfg, 1, rng);
+  std::size_t writes = 0;
+  constexpr std::size_t kN = 20'000;
+  for (std::size_t i = 0; i < kN; ++i) {
+    if (script.next(rng).kind == ActionKind::kPostMessage) ++writes;
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / kN, 0.10, 0.02);
+}
+
+TEST(Trace, BotsWriteMore) {
+  TraceConfig cfg;
+  cfg.bot_fraction = 1.0;  // everyone is a bot
+  Rng rng(3);
+  UserScript script(cfg, 1, rng);
+  EXPECT_TRUE(script.is_bot());
+  std::size_t writes = 0;
+  constexpr std::size_t kN = 10'000;
+  for (std::size_t i = 0; i < kN; ++i) {
+    if (script.next(rng).kind == ActionKind::kPostMessage) ++writes;
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / kN, cfg.bot_write_ratio, 0.03);
+}
+
+TEST(Trace, ChannelRefreshEveryN) {
+  TraceConfig cfg;
+  cfg.refresh_every = 5;
+  Rng rng(3);
+  UserScript script(cfg, 1, rng);
+  std::size_t switches = 0;
+  for (std::size_t i = 1; i <= 100; ++i) {
+    const Action a = script.next(rng);
+    if (a.channel_switch) {
+      ++switches;
+      EXPECT_EQ(i % 5, 0u) << "switch off cadence";
+    }
+  }
+  EXPECT_EQ(switches, 20u);
+}
+
+TEST(Trace, DiurnalFactorOscillates) {
+  const SimTime day = 60 * kSecond;
+  const double morning = diurnal_factor(day / 4, day);
+  const double night = diurnal_factor(3 * day / 4, day);
+  EXPECT_LT(morning, 1.0);
+  EXPECT_GT(night, 1.0);
+}
+
+TEST(Trace, ActivityIsParetoSkewed) {
+  TraceConfig cfg;
+  Rng rng(5);
+  std::vector<double> activity;
+  for (UserId u = 0; u < 500; ++u) {
+    activity.push_back(UserScript(cfg, u, rng).activity());
+  }
+  std::sort(activity.begin(), activity.end());
+  double total = 0, top = 0;
+  for (double a : activity) total += a;
+  for (std::size_t i = activity.size() * 4 / 5; i < activity.size(); ++i) {
+    top += activity[i];
+  }
+  EXPECT_GT(top / total, 0.5);  // top 20% of users dominate
+}
+
+class DriverModeTest : public ::testing::TestWithParam<ClientMode> {};
+
+TEST_P(DriverModeTest, ShortRunCompletesActions) {
+  ClusterConfig cluster_cfg;
+  cluster_cfg.num_dcs = 1;
+  Cluster cluster(cluster_cfg);
+
+  ChatDriverConfig cfg;
+  cfg.mode = GetParam();
+  cfg.clients = 8;
+  cfg.group_size = 4;
+  cfg.trace.num_users = 8;
+  cfg.trace.channels_per_workspace = 5;
+  cfg.think_time = 50 * kMillisecond;
+  ChatDriver driver(cluster, cfg);
+  driver.start();
+  cluster.run_for(20 * kSecond);
+  driver.stop();
+  cluster.run_for(5 * kSecond);
+
+  EXPECT_GT(driver.completed(), 100u) << to_string(GetParam());
+  EXPECT_EQ(driver.failed_reads(), 0u);
+  EXPECT_GT(driver.throughput().total(), 0u);
+  // Latency class sanity: cloud mode has only DC hits; cached modes have
+  // mostly local hits.
+  if (GetParam() == ClientMode::kCloudOnly) {
+    EXPECT_EQ(driver.latency(ReadSource::kLocal).count(), 0u);
+    EXPECT_GT(driver.latency(ReadSource::kDc).count(), 0u);
+  } else {
+    EXPECT_GT(driver.latency(ReadSource::kLocal).count(),
+              driver.latency(ReadSource::kDc).count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, DriverModeTest,
+                         ::testing::Values(ClientMode::kCloudOnly,
+                                           ClientMode::kClientCache,
+                                           ClientMode::kPeerGroup),
+                         [](const auto& info) {
+                           std::string n = to_string(info.param);
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Driver, GroupTopologyHelpers) {
+  ClusterConfig cluster_cfg;
+  Cluster cluster(cluster_cfg);
+  ChatDriverConfig cfg;
+  cfg.mode = ClientMode::kPeerGroup;
+  cfg.clients = 6;
+  cfg.group_size = 3;
+  cfg.trace.num_users = 6;
+  ChatDriver driver(cluster, cfg);
+  EXPECT_EQ(driver.group_count(), 2u);
+  EXPECT_EQ(driver.group_of(0), 0u);
+  EXPECT_EQ(driver.group_of(5), 1u);
+  EXPECT_EQ(driver.group_node_ids(0).size(), 4u);  // parent + 3 members
+}
+
+}  // namespace
+}  // namespace colony::chat

@@ -1,0 +1,87 @@
+// Cluster topology builder: node-id layout, link wiring, failure-injection
+// helpers, and config validation.
+#include <gtest/gtest.h>
+
+#include "colony/cluster.hpp"
+
+namespace colony {
+namespace {
+
+TEST(ClusterTopology, DcMeshFullyConnected) {
+  ClusterConfig cfg;
+  cfg.num_dcs = 3;
+  cfg.k_stability = 2;
+  Cluster cluster(cfg);
+  for (DcId a = 0; a < 3; ++a) {
+    for (DcId b = 0; b < 3; ++b) {
+      if (a == b) continue;
+      EXPECT_TRUE(cluster.network().link_exists(cluster.dc_node_id(a),
+                                                cluster.dc_node_id(b)));
+    }
+    EXPECT_EQ(cluster.dc(a).dc_id(), a);
+  }
+}
+
+TEST(ClusterTopology, EdgeLinkedToEveryDc) {
+  ClusterConfig cfg;
+  cfg.num_dcs = 3;
+  Cluster cluster(cfg);
+  EdgeNode& edge = cluster.add_edge(ClientMode::kClientCache, 1, 7);
+  EXPECT_EQ(edge.connected_dc(), cluster.dc_node_id(1));
+  for (DcId d = 0; d < 3; ++d) {
+    EXPECT_TRUE(cluster.network().link_exists(edge.id(),
+                                              cluster.dc_node_id(d)))
+        << "migration requires a link to DC " << d;
+  }
+}
+
+TEST(ClusterTopology, DistinctNodeIds) {
+  ClusterConfig cfg;
+  cfg.num_dcs = 2;
+  Cluster cluster(cfg);
+  EdgeNode& a = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  EdgeNode& b = cluster.add_edge(ClientMode::kPeerGroup, 1, 2);
+  PeerGroupParent& p = cluster.add_group_parent(0);
+  EXPECT_NE(a.id(), b.id());
+  EXPECT_NE(a.id(), p.id());
+  EXPECT_NE(a.id(), cluster.dc_node_id(0));
+}
+
+TEST(ClusterTopology, WirePeerLinksIsIdempotent) {
+  Cluster cluster(ClusterConfig{});
+  EdgeNode& a = cluster.add_edge(ClientMode::kPeerGroup, 0, 1);
+  EdgeNode& b = cluster.add_edge(ClientMode::kPeerGroup, 0, 2);
+  cluster.wire_peer_links({a.id(), b.id()});
+  cluster.wire_peer_links({a.id(), b.id()});  // no duplicate-link issues
+  EXPECT_TRUE(cluster.network().link_exists(a.id(), b.id()));
+}
+
+TEST(ClusterTopology, UplinkToggle) {
+  Cluster cluster(ClusterConfig{});
+  EdgeNode& edge = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  EXPECT_TRUE(cluster.network().link_up(edge.id(), cluster.dc_node_id(0)));
+  cluster.set_uplink(edge.id(), 0, false);
+  EXPECT_FALSE(cluster.network().link_up(edge.id(), cluster.dc_node_id(0)));
+  cluster.set_uplink(edge.id(), 0, true);
+  EXPECT_TRUE(cluster.network().link_up(edge.id(), cluster.dc_node_id(0)));
+}
+
+TEST(ClusterTopology, RunForAdvancesTime) {
+  Cluster cluster(ClusterConfig{});
+  const SimTime before = cluster.now();
+  cluster.run_for(3 * kSecond);
+  EXPECT_EQ(cluster.now(), before + 3 * kSecond);
+}
+
+TEST(ClusterTopologyDeath, RejectsBadConfigs) {
+  ClusterConfig zero;
+  zero.num_dcs = 0;
+  EXPECT_DEATH(Cluster{zero}, "core sizes");
+  ClusterConfig bad_k;
+  bad_k.num_dcs = 2;
+  bad_k.k_stability = 3;
+  EXPECT_DEATH(Cluster{bad_k}, "K out of range");
+}
+
+}  // namespace
+}  // namespace colony

@@ -1,0 +1,80 @@
+#include "crdt/counter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace colony {
+namespace {
+
+TEST(GCounter, IncrementAccumulates) {
+  GCounter c;
+  c.apply(GCounter::prepare_increment(3));
+  c.apply(GCounter::prepare_increment(0));
+  c.apply(GCounter::prepare_increment(4));
+  EXPECT_EQ(c.value(), 7);
+}
+
+TEST(GCounterDeath, RejectsNegativePrepare) {
+  EXPECT_DEATH(GCounter::prepare_increment(-1), "non-negative");
+}
+
+TEST(GCounter, SnapshotRoundTrip) {
+  GCounter c;
+  c.apply(GCounter::prepare_increment(11));
+  GCounter d;
+  d.restore(c.snapshot());
+  EXPECT_EQ(d.value(), 11);
+}
+
+TEST(GCounter, CloneIsIndependent) {
+  GCounter c;
+  c.apply(GCounter::prepare_increment(1));
+  auto copy = c.clone();
+  c.apply(GCounter::prepare_increment(1));
+  EXPECT_EQ(dynamic_cast<GCounter*>(copy.get())->value(), 1);
+  EXPECT_EQ(c.value(), 2);
+}
+
+TEST(PnCounter, MixedSignDeltas) {
+  PnCounter c;
+  c.apply(PnCounter::prepare_add(10));
+  c.apply(PnCounter::prepare_add(-4));
+  c.apply(PnCounter::prepare_add(-7));
+  EXPECT_EQ(c.value(), -1);
+  EXPECT_EQ(c.increments(), 10);
+  EXPECT_EQ(c.decrements(), 11);
+}
+
+TEST(PnCounter, OpsCommute) {
+  const auto a = PnCounter::prepare_add(5);
+  const auto b = PnCounter::prepare_add(-3);
+  const auto c = PnCounter::prepare_add(100);
+  PnCounter x, y;
+  x.apply(a); x.apply(b); x.apply(c);
+  y.apply(c); y.apply(a); y.apply(b);
+  EXPECT_EQ(x.value(), y.value());
+}
+
+TEST(PnCounter, SnapshotPreservesBothSides) {
+  PnCounter c;
+  c.apply(PnCounter::prepare_add(5));
+  c.apply(PnCounter::prepare_add(-2));
+  PnCounter d;
+  d.restore(c.snapshot());
+  EXPECT_EQ(d.increments(), 5);
+  EXPECT_EQ(d.decrements(), 2);
+}
+
+class CounterParamTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(CounterParamTest, ValueMatchesDelta) {
+  PnCounter c;
+  c.apply(PnCounter::prepare_add(GetParam()));
+  EXPECT_EQ(c.value(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, CounterParamTest,
+                         ::testing::Values(-1000000, -1, 0, 1, 42,
+                                           1000000000LL));
+
+}  // namespace
+}  // namespace colony

@@ -1,0 +1,114 @@
+#include "crdt/maps.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crdt/counter.hpp"
+#include "crdt/or_set.hpp"
+#include "crdt/registers.hpp"
+
+namespace colony {
+namespace {
+
+TEST(GMap, NestedRegisterAndSet) {
+  GMap m;
+  m.apply(GMap::prepare_update(
+      "a", CrdtType::kLwwRegister,
+      LwwRegister::prepare_assign("42", Arb{1, {1, 1}})));
+  m.apply(GMap::prepare_update("e", CrdtType::kOrSet,
+                               OrSet::prepare_add("1", Dot{1, 2})));
+  m.apply(GMap::prepare_update("e", CrdtType::kOrSet,
+                               OrSet::prepare_add("2", Dot{1, 3})));
+
+  const auto* reg = m.field_as<LwwRegister>("a");
+  ASSERT_NE(reg, nullptr);
+  EXPECT_EQ(reg->value(), "42");
+  const auto* set = m.field_as<OrSet>("e");
+  ASSERT_NE(set, nullptr);
+  EXPECT_EQ(set->elements(), (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(m.fields(), (std::vector<std::string>{"a", "e"}));
+}
+
+TEST(GMap, AbsentFieldIsNull) {
+  GMap m;
+  EXPECT_EQ(m.field("missing"), nullptr);
+  EXPECT_EQ(m.field_as<OrSet>("missing"), nullptr);
+}
+
+TEST(GMapDeath, TypeClashAborts) {
+  GMap m;
+  m.apply(GMap::prepare_update("x", CrdtType::kPnCounter,
+                               PnCounter::prepare_add(1)));
+  EXPECT_DEATH(m.apply(GMap::prepare_update(
+                   "x", CrdtType::kOrSet,
+                   OrSet::prepare_add("e", Dot{1, 1}))),
+               "mismatched CRDT type");
+}
+
+TEST(GMap, SnapshotRoundTripDeep) {
+  GMap m;
+  m.apply(GMap::prepare_update("c", CrdtType::kPnCounter,
+                               PnCounter::prepare_add(7)));
+  GMap n;
+  n.restore(m.snapshot());
+  EXPECT_EQ(n.field_as<PnCounter>("c")->value(), 7);
+}
+
+TEST(GMap, CloneIsDeep) {
+  GMap m;
+  m.apply(GMap::prepare_update("c", CrdtType::kPnCounter,
+                               PnCounter::prepare_add(1)));
+  auto copy_ptr = m.clone();
+  auto* copy = dynamic_cast<GMap*>(copy_ptr.get());
+  m.apply(GMap::prepare_update("c", CrdtType::kPnCounter,
+                               PnCounter::prepare_add(1)));
+  EXPECT_EQ(copy->field_as<PnCounter>("c")->value(), 1);
+  EXPECT_EQ(m.field_as<PnCounter>("c")->value(), 2);
+}
+
+TEST(AwMap, UpdateMakesPresent) {
+  AwMap m;
+  m.apply(AwMap::prepare_update("f", CrdtType::kPnCounter,
+                                PnCounter::prepare_add(1), Dot{1, 1}));
+  EXPECT_TRUE(m.present("f"));
+  EXPECT_EQ(m.field_as<PnCounter>("f")->value(), 1);
+}
+
+TEST(AwMap, RemoveHidesField) {
+  AwMap m;
+  m.apply(AwMap::prepare_update("f", CrdtType::kPnCounter,
+                                PnCounter::prepare_add(1), Dot{1, 1}));
+  m.apply(m.prepare_remove("f"));
+  EXPECT_FALSE(m.present("f"));
+  EXPECT_EQ(m.field("f"), nullptr);
+  EXPECT_TRUE(m.fields().empty());
+}
+
+TEST(AwMap, ConcurrentUpdateWinsOverRemove) {
+  AwMap base;
+  const auto up1 = AwMap::prepare_update("f", CrdtType::kPnCounter,
+                                         PnCounter::prepare_add(1), Dot{1, 1});
+  base.apply(up1);
+  const auto remove = base.prepare_remove("f");  // observed tag 1:1 only
+  const auto up2 = AwMap::prepare_update("f", CrdtType::kPnCounter,
+                                         PnCounter::prepare_add(2), Dot{2, 1});
+  AwMap m;
+  m.apply(up1);
+  m.apply(up2);
+  m.apply(remove);
+  EXPECT_TRUE(m.present("f"));  // concurrent update survives (add-wins)
+  // Nested state keeps both increments (keep-value semantics).
+  EXPECT_EQ(m.field_as<PnCounter>("f")->value(), 3);
+}
+
+TEST(AwMap, SnapshotRoundTrip) {
+  AwMap m;
+  m.apply(AwMap::prepare_update("f", CrdtType::kPnCounter,
+                                PnCounter::prepare_add(5), Dot{1, 1}));
+  AwMap n;
+  n.restore(m.snapshot());
+  EXPECT_TRUE(n.present("f"));
+  EXPECT_EQ(n.field_as<PnCounter>("f")->value(), 5);
+}
+
+}  // namespace
+}  // namespace colony

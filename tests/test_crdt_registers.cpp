@@ -1,0 +1,107 @@
+#include "crdt/registers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace colony {
+namespace {
+
+Arb arb(Timestamp ts, NodeId node, std::uint64_t counter) {
+  return Arb{ts, Dot{node, counter}};
+}
+
+TEST(LwwRegister, LastWriterWins) {
+  LwwRegister r;
+  r.apply(LwwRegister::prepare_assign("first", arb(1, 1, 1)));
+  r.apply(LwwRegister::prepare_assign("second", arb(2, 1, 2)));
+  EXPECT_EQ(r.value(), "second");
+}
+
+TEST(LwwRegister, StaleWriteIgnored) {
+  LwwRegister r;
+  r.apply(LwwRegister::prepare_assign("new", arb(10, 1, 2)));
+  r.apply(LwwRegister::prepare_assign("old", arb(5, 1, 1)));
+  EXPECT_EQ(r.value(), "new");
+}
+
+TEST(LwwRegister, DotBreaksTimestampTies) {
+  LwwRegister a, b;
+  const auto op1 = LwwRegister::prepare_assign("from-node-1", arb(7, 1, 1));
+  const auto op2 = LwwRegister::prepare_assign("from-node-2", arb(7, 2, 1));
+  a.apply(op1); a.apply(op2);
+  b.apply(op2); b.apply(op1);
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_EQ(a.value(), "from-node-2");  // higher node id wins the tie
+}
+
+TEST(LwwRegister, SnapshotRoundTrip) {
+  LwwRegister r;
+  r.apply(LwwRegister::prepare_assign("persisted", arb(3, 4, 5)));
+  LwwRegister s;
+  s.restore(r.snapshot());
+  EXPECT_EQ(s.value(), "persisted");
+  EXPECT_EQ(s.arb(), arb(3, 4, 5));
+}
+
+TEST(MvRegister, SingleWriterHasOneValue) {
+  MvRegister r;
+  r.apply(r.prepare_assign("v1", Dot{1, 1}));
+  ASSERT_EQ(r.values().size(), 1u);
+  EXPECT_EQ(r.values()[0], "v1");
+}
+
+TEST(MvRegister, SequentialAssignReplaces) {
+  MvRegister r;
+  r.apply(r.prepare_assign("v1", Dot{1, 1}));
+  r.apply(r.prepare_assign("v2", Dot{1, 2}));  // observed v1
+  ASSERT_EQ(r.version_count(), 1u);
+  EXPECT_EQ(r.values()[0], "v2");
+}
+
+TEST(MvRegister, ConcurrentAssignsBothKept) {
+  // Two replicas assign concurrently from the same (empty) observation.
+  MvRegister base;
+  const auto op_a = base.prepare_assign("a", Dot{1, 1});
+  const auto op_b = base.prepare_assign("b", Dot{2, 1});
+  MvRegister r;
+  r.apply(op_a);
+  r.apply(op_b);
+  EXPECT_EQ(r.version_count(), 2u);
+  const auto vals = r.values();
+  EXPECT_EQ(vals, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(MvRegister, AssignAfterMergeCollapses) {
+  MvRegister base;
+  const auto op_a = base.prepare_assign("a", Dot{1, 1});
+  const auto op_b = base.prepare_assign("b", Dot{2, 1});
+  MvRegister r;
+  r.apply(op_a);
+  r.apply(op_b);
+  // A writer that observed both replaces both.
+  r.apply(r.prepare_assign("merged", Dot{3, 1}));
+  ASSERT_EQ(r.version_count(), 1u);
+  EXPECT_EQ(r.values()[0], "merged");
+}
+
+TEST(MvRegister, ConvergesUnderReordering) {
+  MvRegister base;
+  const auto op_a = base.prepare_assign("a", Dot{1, 1});
+  const auto op_b = base.prepare_assign("b", Dot{2, 1});
+  MvRegister x, y;
+  x.apply(op_a); x.apply(op_b);
+  y.apply(op_b); y.apply(op_a);
+  EXPECT_EQ(x.values(), y.values());
+}
+
+TEST(MvRegister, SnapshotRoundTrip) {
+  MvRegister base;
+  MvRegister r;
+  r.apply(base.prepare_assign("a", Dot{1, 1}));
+  r.apply(base.prepare_assign("b", Dot{2, 1}));
+  MvRegister s;
+  s.restore(r.snapshot());
+  EXPECT_EQ(s.values(), r.values());
+}
+
+}  // namespace
+}  // namespace colony

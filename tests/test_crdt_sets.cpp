@@ -1,0 +1,105 @@
+#include "crdt/or_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace colony {
+namespace {
+
+TEST(GSet, AddOnly) {
+  GSet s;
+  s.apply(GSet::prepare_add("a"));
+  s.apply(GSet::prepare_add("b"));
+  s.apply(GSet::prepare_add("a"));  // idempotent
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains("a"));
+  EXPECT_TRUE(s.contains("b"));
+  EXPECT_FALSE(s.contains("c"));
+}
+
+TEST(GSet, SnapshotRoundTrip) {
+  GSet s;
+  s.apply(GSet::prepare_add("x"));
+  s.apply(GSet::prepare_add("y"));
+  GSet t;
+  t.restore(s.snapshot());
+  EXPECT_EQ(t.elements(), s.elements());
+}
+
+TEST(OrSet, AddThenRemove) {
+  OrSet s;
+  s.apply(OrSet::prepare_add("a", Dot{1, 1}));
+  EXPECT_TRUE(s.contains("a"));
+  s.apply(s.prepare_remove("a"));
+  EXPECT_FALSE(s.contains("a"));
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(OrSet, RemoveOfAbsentIsNoop) {
+  OrSet s;
+  s.apply(s.prepare_remove("ghost"));
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(OrSet, AddWinsOverConcurrentRemove) {
+  // Replica X adds "a" (tag 1:1). Replica Y observes it, prepares a remove.
+  // Concurrently X adds "a" again (tag 1:2). Add must win.
+  OrSet x;
+  const auto add1 = OrSet::prepare_add("a", Dot{1, 1});
+  x.apply(add1);
+  OrSet y;
+  y.apply(add1);
+  const auto remove = y.prepare_remove("a");  // observed only tag 1:1
+  const auto add2 = OrSet::prepare_add("a", Dot{1, 2});
+
+  // Apply in both orders; "a" must survive via the unobserved tag 1:2.
+  OrSet r1;
+  r1.apply(add1); r1.apply(add2); r1.apply(remove);
+  EXPECT_TRUE(r1.contains("a"));
+
+  OrSet r2;
+  r2.apply(add1); r2.apply(remove); r2.apply(add2);
+  EXPECT_TRUE(r2.contains("a"));
+
+  EXPECT_EQ(r1.elements(), r2.elements());
+}
+
+TEST(OrSet, ReAddAfterRemove) {
+  OrSet s;
+  s.apply(OrSet::prepare_add("a", Dot{1, 1}));
+  s.apply(s.prepare_remove("a"));
+  EXPECT_FALSE(s.contains("a"));
+  s.apply(OrSet::prepare_add("a", Dot{1, 2}));
+  EXPECT_TRUE(s.contains("a"));
+}
+
+TEST(OrSet, ElementsSortedAndDeduplicated) {
+  OrSet s;
+  s.apply(OrSet::prepare_add("b", Dot{1, 1}));
+  s.apply(OrSet::prepare_add("a", Dot{1, 2}));
+  s.apply(OrSet::prepare_add("a", Dot{2, 1}));  // second tag, same element
+  EXPECT_EQ(s.elements(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(OrSet, RemoveClearsAllObservedTags) {
+  OrSet s;
+  s.apply(OrSet::prepare_add("a", Dot{1, 1}));
+  s.apply(OrSet::prepare_add("a", Dot{2, 1}));
+  s.apply(s.prepare_remove("a"));  // observed both tags
+  EXPECT_FALSE(s.contains("a"));
+}
+
+TEST(OrSet, SnapshotRoundTripPreservesTags) {
+  OrSet s;
+  s.apply(OrSet::prepare_add("a", Dot{1, 1}));
+  s.apply(OrSet::prepare_add("b", Dot{2, 5}));
+  OrSet t;
+  t.restore(s.snapshot());
+  EXPECT_EQ(t.elements(), s.elements());
+  // Tag-level fidelity: a remove prepared at t must clear s's tags too.
+  s.apply(t.prepare_remove("a"));
+  EXPECT_FALSE(s.contains("a"));
+}
+
+}  // namespace
+}  // namespace colony

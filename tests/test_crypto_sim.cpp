@@ -1,0 +1,92 @@
+#include "security/crypto_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace colony::security {
+namespace {
+
+const Bytes kPlain{'h', 'e', 'l', 'l', 'o'};
+
+TEST(CryptoSim, SealOpenRoundTrip) {
+  const auto sealed = seal("bucket", 0xabcdef, 1, kPlain);
+  const auto opened = open(sealed, 0xabcdef);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, kPlain);
+}
+
+TEST(CryptoSim, CiphertextDiffersFromPlaintext) {
+  const auto sealed = seal("bucket", 0xabcdef, 1, kPlain);
+  EXPECT_NE(sealed.ciphertext, kPlain);
+}
+
+TEST(CryptoSim, WrongKeyFailsMac) {
+  const auto sealed = seal("bucket", 0xabcdef, 1, kPlain);
+  EXPECT_FALSE(open(sealed, 0xabcdee).has_value());
+}
+
+TEST(CryptoSim, TamperingDetected) {
+  auto sealed = seal("bucket", 0xabcdef, 1, kPlain);
+  sealed.ciphertext[0] ^= 0xff;
+  EXPECT_FALSE(open(sealed, 0xabcdef).has_value());
+}
+
+TEST(CryptoSim, NonceChangesCiphertext) {
+  const auto s1 = seal("bucket", 0xabcdef, 1, kPlain);
+  const auto s2 = seal("bucket", 0xabcdef, 2, kPlain);
+  EXPECT_NE(s1.ciphertext, s2.ciphertext);
+  EXPECT_EQ(*open(s2, 0xabcdef), kPlain);
+}
+
+TEST(CryptoSim, EmptyPayload) {
+  const auto sealed = seal("bucket", 1, 1, Bytes{});
+  const auto opened = open(sealed, 1);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(opened->empty());
+}
+
+TEST(KeyService, AuthorizationGatesKeys) {
+  KeyService svc(42);
+  EXPECT_FALSE(svc.key_for("docs", 1).has_value());
+  svc.authorize("docs", 1);
+  const auto key = svc.key_for("docs", 1);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_TRUE(svc.authorized("docs", 1));
+  EXPECT_FALSE(svc.authorized("docs", 2));
+}
+
+TEST(KeyService, SameBucketSameKeyAcrossUsers) {
+  // Session keys are per shared object/bucket (section 5.3): collaborators
+  // share one key and it survives reconnection.
+  KeyService svc(42);
+  svc.authorize("docs", 1);
+  svc.authorize("docs", 2);
+  EXPECT_EQ(*svc.key_for("docs", 1), *svc.key_for("docs", 2));
+}
+
+TEST(KeyService, DifferentBucketsDifferentKeys) {
+  KeyService svc(42);
+  svc.authorize("a", 1);
+  svc.authorize("b", 1);
+  EXPECT_NE(*svc.key_for("a", 1), *svc.key_for("b", 1));
+}
+
+TEST(KeyService, DeauthorizeRevokesAccess) {
+  KeyService svc(42);
+  svc.authorize("docs", 1);
+  svc.deauthorize("docs", 1);
+  EXPECT_FALSE(svc.key_for("docs", 1).has_value());
+}
+
+TEST(KeyService, EndToEnd) {
+  // Alice seals an update; Bob (authorised) reads it; the "cloud" (no key)
+  // cannot.
+  KeyService svc(7);
+  svc.authorize("shared", 1);
+  svc.authorize("shared", 2);
+  const auto sealed = seal("shared", *svc.key_for("shared", 1), 99, kPlain);
+  EXPECT_EQ(*open(sealed, *svc.key_for("shared", 2)), kPlain);
+  EXPECT_FALSE(open(sealed, /*cloud guess=*/0).has_value());
+}
+
+}  // namespace
+}  // namespace colony::security

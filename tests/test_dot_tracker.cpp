@@ -1,0 +1,69 @@
+#include "clock/dot_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace colony {
+namespace {
+
+TEST(Dot, OrderingAndValidity) {
+  EXPECT_FALSE(Dot{}.valid());
+  EXPECT_TRUE((Dot{1, 1}).valid());
+  EXPECT_LT((Dot{1, 5}), (Dot{2, 1}));
+  EXPECT_LT((Dot{1, 5}), (Dot{1, 6}));
+}
+
+TEST(Dot, CodecRoundTrip) {
+  const Dot d{77, 123456};
+  Encoder enc;
+  d.encode(enc);
+  Decoder dec(enc.data());
+  EXPECT_EQ(Dot::decode(dec), d);
+}
+
+TEST(DotTracker, RecordsInOrder) {
+  DotTracker t;
+  EXPECT_TRUE(t.record({1, 1}));
+  EXPECT_TRUE(t.record({1, 2}));
+  EXPECT_TRUE(t.record({1, 3}));
+  EXPECT_EQ(t.prefix(1), 3u);
+}
+
+TEST(DotTracker, RejectsDuplicates) {
+  DotTracker t;
+  EXPECT_TRUE(t.record({1, 1}));
+  EXPECT_FALSE(t.record({1, 1}));
+  EXPECT_TRUE(t.record({1, 5}));
+  EXPECT_FALSE(t.record({1, 5}));
+}
+
+TEST(DotTracker, HandlesGapsAndCompacts) {
+  DotTracker t;
+  EXPECT_TRUE(t.record({1, 3}));
+  EXPECT_EQ(t.prefix(1), 0u);
+  EXPECT_TRUE(t.contains({1, 3}));
+  EXPECT_FALSE(t.contains({1, 2}));
+  EXPECT_TRUE(t.record({1, 1}));
+  EXPECT_EQ(t.prefix(1), 1u);
+  EXPECT_TRUE(t.record({1, 2}));
+  EXPECT_EQ(t.prefix(1), 3u);  // the gap closed; 3 absorbed into the prefix
+  EXPECT_TRUE(t.contains({1, 3}));
+  EXPECT_FALSE(t.record({1, 3}));
+}
+
+TEST(DotTracker, TracksOriginsIndependently) {
+  DotTracker t;
+  EXPECT_TRUE(t.record({1, 1}));
+  EXPECT_TRUE(t.record({2, 1}));
+  EXPECT_FALSE(t.record({2, 1}));
+  EXPECT_EQ(t.prefix(1), 1u);
+  EXPECT_EQ(t.prefix(2), 1u);
+  EXPECT_EQ(t.origins(), 2u);
+}
+
+TEST(DotTrackerDeath, RejectsInvalidDot) {
+  DotTracker t;
+  EXPECT_DEATH(t.record(Dot{}), "invalid dot");
+}
+
+}  // namespace
+}  // namespace colony

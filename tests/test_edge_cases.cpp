@@ -1,0 +1,147 @@
+// Edge-case semantics of the client API and replication paths.
+#include <gtest/gtest.h>
+
+#include "colony/cluster.hpp"
+#include "colony/session.hpp"
+#include "crdt/counter.hpp"
+#include "crdt/registers.hpp"
+
+namespace colony {
+namespace {
+
+const ObjectKey kX{"app", "x"};
+
+TEST(EdgeCases, MultipleOpsOnSameKeyInOneTransaction) {
+  Cluster cluster(ClusterConfig{});
+  EdgeNode& node = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  Session session(node);
+  auto txn = session.begin();
+  for (int i = 0; i < 5; ++i) session.increment(txn, kX, 1);
+  ASSERT_TRUE(session.commit(std::move(txn)).ok());
+  EXPECT_EQ(dynamic_cast<const PnCounter*>(node.cached(kX))->value(), 5);
+  cluster.run_for(2 * kSecond);
+  EXPECT_EQ(
+      dynamic_cast<const PnCounter*>(cluster.dc(0).store().current(kX))
+          ->value(),
+      5);
+}
+
+TEST(EdgeCases, LwwWithinTransactionLastAssignWins) {
+  Cluster cluster(ClusterConfig{});
+  EdgeNode& node = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  Session session(node);
+  auto txn = session.begin();
+  session.assign(txn, kX, "first");
+  session.assign(txn, kX, "last");
+  ASSERT_TRUE(session.commit(std::move(txn)).ok());
+  EXPECT_EQ(dynamic_cast<const LwwRegister*>(node.cached(kX))->value(),
+            "last");
+}
+
+TEST(EdgeCases, SubscribeEmptyInterestOpensSession) {
+  Cluster cluster(ClusterConfig{});
+  EdgeNode& node = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  bool done = false;
+  node.subscribe({}, [&](Result<void> r) { done = r.ok(); });
+  cluster.run_for(1 * kSecond);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(cluster.dc(0).session_count(), 1u);
+}
+
+TEST(EdgeCases, DoubleJoinSameGroupIsIdempotent) {
+  Cluster cluster(ClusterConfig{});
+  PeerGroupParent& parent = cluster.add_group_parent(0);
+  EdgeNode& node = cluster.add_edge(ClientMode::kPeerGroup, 0, 1);
+  cluster.wire_peer_links({parent.id(), node.id()});
+  int joins = 0;
+  node.join_group(parent.id(), [&](Result<void> r) { joins += r.ok(); });
+  cluster.run_for(500 * kMillisecond);
+  node.join_group(parent.id(), [&](Result<void> r) { joins += r.ok(); });
+  cluster.run_for(500 * kMillisecond);
+  EXPECT_EQ(joins, 2);
+  EXPECT_EQ(parent.member_count(), 1u);  // no duplicate membership
+}
+
+TEST(EdgeCases, UnwatchInsideCallbackIsSafe) {
+  Cluster cluster(ClusterConfig{});
+  EdgeNode& node = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  Session session(node);
+  int fired = 0;
+  std::uint64_t handle = 0;
+  handle = session.watch(kX, [&](const ObjectKey&) {
+    ++fired;
+    session.unwatch(handle);  // re-entrant unwatch
+  });
+  for (int i = 0; i < 3; ++i) {
+    auto txn = session.begin();
+    session.increment(txn, kX, 1);
+    ASSERT_TRUE(session.commit(std::move(txn)).ok());
+  }
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EdgeCases, ThreeDcCausalChainAcrossCloud) {
+  // A chain of dependent writes hopping DC0 -> DC1 -> DC2 through three
+  // clients; each must observe the previous link before extending.
+  ClusterConfig cfg;
+  cfg.num_dcs = 3;
+  Cluster cluster(cfg);
+  std::vector<EdgeNode*> nodes;
+  std::vector<std::unique_ptr<Session>> sessions;
+  for (DcId d = 0; d < 3; ++d) {
+    nodes.push_back(&cluster.add_edge(ClientMode::kClientCache, d, 10 + d));
+    sessions.push_back(std::make_unique<Session>(*nodes.back()));
+    sessions.back()->subscribe({kX}, [](Result<void>) {});
+  }
+  cluster.run_for(1 * kSecond);
+
+  for (int link = 0; link < 3; ++link) {
+    Session& s = *sessions[static_cast<std::size_t>(link)];
+    // Wait until this client sees the previous links.
+    for (int step = 0; step < 100; ++step) {
+      const auto* c = dynamic_cast<const PnCounter*>(
+          nodes[static_cast<std::size_t>(link)]->cached(kX));
+      if ((c == nullptr ? 0 : c->value()) >= link) break;
+      cluster.run_for(100 * kMillisecond);
+    }
+    auto txn = s.begin();
+    s.increment(txn, kX, 1);
+    ASSERT_TRUE(s.commit(std::move(txn)).ok());
+    cluster.run_for(3 * kSecond);
+  }
+  for (DcId d = 0; d < 3; ++d) {
+    EXPECT_EQ(
+        dynamic_cast<const PnCounter*>(cluster.dc(d).store().current(kX))
+            ->value(),
+        3)
+        << "DC " << d;
+  }
+}
+
+TEST(EdgeCases, CloudModeReadOfUnknownKeyReturnsEmpty) {
+  Cluster cluster(ClusterConfig{});
+  EdgeNode& node = cluster.add_edge(ClientMode::kCloudOnly, 0, 1);
+  bool done = false;
+  node.cloud_execute({kX}, {}, [&](Result<proto::DcExecuteResp> r) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.value().read_values[0].state.empty());
+    done = true;
+  });
+  cluster.run_for(2 * kSecond);
+  EXPECT_TRUE(done);
+}
+
+TEST(EdgeCases, MigrationWithEmptyHistoryIsTrivial) {
+  ClusterConfig cfg;
+  cfg.num_dcs = 2;
+  Cluster cluster(cfg);
+  EdgeNode& node = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  bool migrated = false;
+  node.migrate_to_dc(cluster.dc_node_id(1),
+                     [&](Result<void> r) { migrated = r.ok(); });
+  cluster.run_for(2 * kSecond);
+  EXPECT_TRUE(migrated);
+}
+
+}  // namespace
+}  // namespace colony

@@ -1,0 +1,153 @@
+// Offline operation: an edge client keeps reading and committing while
+// disconnected; its transactions reach the DC after reconnection with
+// causality intact (paper sections 2.2, 3.7, 7.3.1).
+#include <gtest/gtest.h>
+
+#include "colony/cluster.hpp"
+#include "colony/session.hpp"
+#include "crdt/counter.hpp"
+
+namespace colony {
+namespace {
+
+const ObjectKey kX{"app", "x"};
+
+TEST(EdgeOffline, CommitsQueueAndFlushOnReconnect) {
+  ClusterConfig cfg;
+  cfg.num_dcs = 1;
+  Cluster cluster(cfg);
+  EdgeNode& node = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  Session session(node);
+
+  cluster.set_uplink(node.id(), 0, false);
+  for (int i = 0; i < 3; ++i) {
+    auto txn = session.begin();
+    session.increment(txn, kX, 1);
+    ASSERT_TRUE(session.commit(std::move(txn)).ok());
+  }
+  cluster.run_for(3 * kSecond);
+  EXPECT_EQ(node.unacked_count(), 3u);
+  EXPECT_EQ(cluster.dc(0).committed(), 0u);
+
+  // Local value reflects all offline work.
+  const auto* counter = dynamic_cast<const PnCounter*>(node.cached(kX));
+  EXPECT_EQ(counter->value(), 3);
+
+  cluster.set_uplink(node.id(), 0, true);
+  cluster.run_for(5 * kSecond);
+  EXPECT_EQ(node.unacked_count(), 0u);
+  EXPECT_EQ(cluster.dc(0).committed(), 3u);
+  const auto* dc_counter =
+      dynamic_cast<const PnCounter*>(cluster.dc(0).store().current(kX));
+  EXPECT_EQ(dc_counter->value(), 3);
+}
+
+TEST(EdgeOffline, LocalReadsUnaffectedByDisconnection) {
+  ClusterConfig cfg;
+  cfg.num_dcs = 1;
+  Cluster cluster(cfg);
+  EdgeNode& node = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  Session session(node);
+
+  // Populate the cache (a local commit creates the object), then go dark.
+  auto seed = session.begin();
+  session.increment(seed, kX, 1);
+  ASSERT_TRUE(session.commit(std::move(seed)).ok());
+  cluster.run_for(1 * kSecond);
+  cluster.set_uplink(node.id(), 0, false);
+
+  auto txn = session.begin();
+  bool read_ok = false;
+  ReadSource src{};
+  session.read_counter(txn, kX, [&](Result<std::int64_t> r, ReadSource s) {
+    read_ok = r.ok();
+    src = s;
+  });
+  EXPECT_TRUE(read_ok);  // synchronous cache hit while offline
+  EXPECT_EQ(src, ReadSource::kLocal);
+}
+
+TEST(EdgeOffline, UncachedReadFailsWhileOffline) {
+  ClusterConfig cfg;
+  cfg.num_dcs = 1;
+  Cluster cluster(cfg);
+  EdgeNode& node = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  Session session(node);
+  cluster.set_uplink(node.id(), 0, false);
+
+  auto txn = session.begin();
+  bool failed = false;
+  session.read_counter(txn, {"app", "never-seen"},
+                       [&](Result<std::int64_t> r, ReadSource) {
+                         failed = !r.ok() &&
+                                  r.error().code == Error::Code::kUnavailable;
+                       });
+  cluster.run_for(10 * kSecond);
+  EXPECT_TRUE(failed);  // inherent limitation (section 4.2)
+}
+
+TEST(EdgeOffline, DuplicateSuppressionOnRetry) {
+  // The commit RPC can time out after the DC already processed it; the
+  // retry must not double-apply (dot filtering, section 3.8).
+  ClusterConfig cfg;
+  cfg.num_dcs = 1;
+  Cluster cluster(cfg);
+  EdgeNode& node = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  Session session(node);
+
+  auto txn = session.begin();
+  session.increment(txn, kX, 1);
+  ASSERT_TRUE(session.commit(std::move(txn)).ok());
+  // Drop the ack direction only: DC receives, edge never hears back, so the
+  // pump retries the same transaction.
+  cluster.run_for(20 * kMillisecond);  // request in flight towards the DC
+  cluster.set_uplink(node.id(), 0, false);
+  cluster.run_for(10 * kSecond);  // several retry rounds, all dropped
+  cluster.set_uplink(node.id(), 0, true);
+  cluster.run_for(10 * kSecond);
+
+  EXPECT_EQ(node.unacked_count(), 0u);
+  const auto* counter =
+      dynamic_cast<const PnCounter*>(cluster.dc(0).store().current(kX));
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value(), 1);  // applied exactly once
+  EXPECT_EQ(cluster.dc(0).committed(), 1u);
+}
+
+TEST(EdgeOffline, OfflineWorkFromTwoClientsMerges) {
+  ClusterConfig cfg;
+  cfg.num_dcs = 1;
+  Cluster cluster(cfg);
+  EdgeNode& a = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  EdgeNode& b = cluster.add_edge(ClientMode::kClientCache, 0, 2);
+  Session sa(a), sb(b);
+  sa.subscribe({kX}, [](Result<void>) {});
+  sb.subscribe({kX}, [](Result<void>) {});
+  cluster.run_for(1 * kSecond);
+
+  cluster.set_uplink(a.id(), 0, false);
+  cluster.set_uplink(b.id(), 0, false);
+  for (int i = 0; i < 2; ++i) {
+    auto ta = sa.begin();
+    sa.increment(ta, kX, 1);
+    ASSERT_TRUE(sa.commit(std::move(ta)).ok());
+    auto tb = sb.begin();
+    sb.increment(tb, kX, 10);
+    ASSERT_TRUE(sb.commit(std::move(tb)).ok());
+  }
+  cluster.run_for(2 * kSecond);
+
+  cluster.set_uplink(a.id(), 0, true);
+  cluster.set_uplink(b.id(), 0, true);
+  cluster.run_for(10 * kSecond);
+
+  // CRDT merge: all four increments survive at every replica.
+  const auto* dc_counter =
+      dynamic_cast<const PnCounter*>(cluster.dc(0).store().current(kX));
+  EXPECT_EQ(dc_counter->value(), 22);
+  EXPECT_EQ(dynamic_cast<const PnCounter*>(a.cached(kX))->value(), 22);
+  EXPECT_EQ(dynamic_cast<const PnCounter*>(b.cached(kX))->value(), 22);
+}
+
+}  // namespace
+}  // namespace colony

@@ -1,0 +1,162 @@
+// EPaxos stall recovery: the nudge path (forcing the slow path when a
+// member died before the fast quorum completed) and write-through commits
+// at the edge.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+
+#include "colony/cluster.hpp"
+#include "colony/session.hpp"
+#include "consensus/epaxos.hpp"
+#include "crdt/counter.hpp"
+
+namespace colony {
+namespace {
+
+using consensus::Command;
+using consensus::Epaxos;
+using consensus::EpaxosMsg;
+using consensus::InstanceStatus;
+
+struct MiniNet {
+  explicit MiniNet(std::size_t n) {
+    std::vector<NodeId> ids;
+    for (std::size_t i = 0; i < n; ++i) ids.push_back(i + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      replicas.push_back(std::make_unique<Epaxos>(
+          ids[i], ids,
+          [this, self = ids[i]](NodeId to, const EpaxosMsg& msg) {
+            queue.push_back({self, to, msg});
+          },
+          [this](const Command& cmd) { delivered.push_back(cmd.id); }));
+    }
+  }
+  void pump() {
+    while (!queue.empty()) {
+      auto [from, to, msg] = queue.front();
+      queue.pop_front();
+      if (down.contains(to) || down.contains(from)) continue;
+      replicas[to - 1]->on_message(from, msg);
+    }
+  }
+  struct Queued {
+    NodeId from, to;
+    EpaxosMsg msg;
+  };
+  std::vector<std::unique_ptr<Epaxos>> replicas;
+  std::deque<Queued> queue;
+  std::vector<Dot> delivered;
+  std::set<NodeId> down;
+};
+
+TEST(EpaxosNudge, ForcesSlowPathWithMajority) {
+  MiniNet net(5);  // fast quorum 4, slow quorum 3
+  net.down.insert(5);  // one replica dead: fast quorum unreachable
+  const auto inst =
+      net.replicas[0]->propose(Command{Dot{1, 1}, {{"b", "x"}}, {}});
+  net.pump();
+  // 3 replies (of 4 live peers) < fast quorum: stalled pre-accepted.
+  EXPECT_EQ(net.replicas[0]->status(inst), InstanceStatus::kPreAccepted);
+  EXPECT_EQ(net.replicas[0]->committed_count(), 0u);
+
+  // The nudge forces the accept round; majority (3/5) suffices.
+  EXPECT_TRUE(net.replicas[0]->nudge(inst));
+  net.pump();
+  EXPECT_EQ(net.replicas[0]->status(inst), InstanceStatus::kExecuted);
+  EXPECT_GE(net.replicas[0]->slow_path_commits(), 1u);
+}
+
+TEST(EpaxosNudge, RefusedWithoutMajority) {
+  MiniNet net(5);
+  net.down.insert(3);
+  net.down.insert(4);
+  net.down.insert(5);  // only 2 of 5 alive: no quorum possible
+  const auto inst =
+      net.replicas[0]->propose(Command{Dot{1, 1}, {{"b", "x"}}, {}});
+  net.pump();
+  EXPECT_FALSE(net.replicas[0]->nudge(inst));  // 1 reply + self < 3
+  EXPECT_EQ(net.replicas[0]->committed_count(), 0u);
+}
+
+TEST(EpaxosNudge, NoopOnCommittedOrUnknown) {
+  MiniNet net(3);
+  const auto inst =
+      net.replicas[0]->propose(Command{Dot{1, 1}, {{"b", "x"}}, {}});
+  net.pump();
+  EXPECT_EQ(net.replicas[0]->status(inst), InstanceStatus::kExecuted);
+  EXPECT_FALSE(net.replicas[0]->nudge(inst));            // already done
+  EXPECT_FALSE(net.replicas[0]->nudge({9, 9}));          // unknown
+  EXPECT_FALSE(net.replicas[1]->nudge(inst));            // not the leader
+}
+
+TEST(EpaxosNudge, GroupSurvivesSilentMemberViaNudgeTimer) {
+  // End-to-end: a member's links drop *silently*; before the heartbeat
+  // removes it, other members' proposals would stall on the fast quorum —
+  // the scheduled nudges push them through the slow path.
+  ClusterConfig cfg;
+  Cluster cluster(cfg);
+  PeerGroupParent& parent = cluster.add_group_parent(0);
+  std::vector<EdgeNode*> members;
+  std::vector<NodeId> ids{parent.id()};
+  for (int i = 0; i < 4; ++i) {
+    members.push_back(&cluster.add_edge(ClientMode::kPeerGroup, 0, 60 + i));
+    ids.push_back(members.back()->id());
+  }
+  cluster.wire_peer_links(ids);
+  for (EdgeNode* m : members) {
+    m->join_group(parent.id(), [](Result<void>) {});
+    cluster.run_for(100 * kMillisecond);
+  }
+  cluster.run_for(500 * kMillisecond);
+
+  // Member 3 goes dark silently.
+  cluster.set_peer_links(members[3]->id(), ids, false);
+
+  // Member 0 commits immediately after: the proposal cannot reach the full
+  // fast quorum, but must still commit well before the heartbeat epoch
+  // change (nudges fire at 300 ms).
+  Session s0(*members[0]);
+  auto txn = s0.begin();
+  s0.increment(txn, {"app", "x"}, 1);
+  ASSERT_TRUE(s0.commit(std::move(txn)).ok());
+  cluster.run_for(1 * kSecond);
+  EXPECT_EQ(cluster.dc(0).committed(), 1u);
+}
+
+TEST(WriteThrough, CallbackFiresOnDcAck) {
+  ClusterConfig cfg;
+  Cluster cluster(cfg);
+  EdgeNode& node = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  Session session(node);
+
+  auto txn = session.begin();
+  session.increment(txn, {"app", "x"}, 1);
+  bool durable = false;
+  SimTime acked_at = 0;
+  node.commit_write_through(std::move(txn), [&](Result<Dot> r) {
+    ASSERT_TRUE(r.ok());
+    durable = true;
+    acked_at = cluster.now();
+  });
+  EXPECT_FALSE(durable);  // local commit done, cloud ack pending
+  cluster.run_for(2 * kSecond);
+  EXPECT_TRUE(durable);
+  EXPECT_GT(acked_at, 0u);  // took a round trip
+}
+
+TEST(WriteThrough, ReadOnlyCompletesImmediately) {
+  ClusterConfig cfg;
+  Cluster cluster(cfg);
+  EdgeNode& node = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  bool done = false;
+  node.commit_write_through(node.begin(), [&](Result<Dot> r) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r.value().valid());
+    done = true;
+  });
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace colony

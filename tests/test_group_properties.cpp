@@ -1,0 +1,106 @@
+// Randomized peer-group churn property test: members commit concurrently
+// while links flap, members get removed by heartbeat and rejoin; after the
+// dust settles, the group, its parent, and the DC must agree on a CRDT
+// counter whose value equals the number of successful commits.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "colony/cluster.hpp"
+#include "colony/session.hpp"
+#include "crdt/counter.hpp"
+#include "util/rng.hpp"
+
+namespace colony {
+namespace {
+
+const ObjectKey kX{"app", "x"};
+
+std::int64_t value_of(const Crdt* c) {
+  const auto* counter = dynamic_cast<const PnCounter*>(c);
+  return counter == nullptr ? 0 : counter->value();
+}
+
+class GroupChurnTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GroupChurnTest, ConvergesThroughChurn) {
+  const std::uint64_t seed = GetParam();
+  ClusterConfig cfg;
+  cfg.seed = seed;
+  Cluster cluster(cfg);
+  Rng rng(seed * 131 + 7);
+
+  PeerGroupParent& parent = cluster.add_group_parent(0);
+  constexpr std::size_t kMembers = 4;
+  std::vector<EdgeNode*> members;
+  std::vector<std::unique_ptr<Session>> sessions;
+  std::vector<NodeId> node_ids{parent.id()};
+  for (std::size_t i = 0; i < kMembers; ++i) {
+    members.push_back(&cluster.add_edge(ClientMode::kPeerGroup, 0, 50 + i));
+    sessions.push_back(std::make_unique<Session>(*members.back()));
+    node_ids.push_back(members.back()->id());
+  }
+  cluster.wire_peer_links(node_ids);
+  for (EdgeNode* m : members) {
+    m->join_group(parent.id(), [](Result<void>) {});
+    cluster.run_for(100 * kMillisecond);
+  }
+  for (auto& s : sessions) s->subscribe({kX}, [](Result<void>) {});
+  cluster.run_for(1 * kSecond);
+
+  std::int64_t expected = 0;
+  std::vector<bool> detached(kMembers, false);
+
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t m = rng.below(kMembers);
+    const double dice = rng.uniform();
+    if (dice < 0.15 && !detached[m]) {
+      // Detach a member from the group fabric.
+      cluster.set_peer_links(members[m]->id(), node_ids, false);
+      cluster.set_uplink(members[m]->id(), 0, false);
+      detached[m] = true;
+    } else if (dice < 0.30 && detached[m]) {
+      cluster.set_peer_links(members[m]->id(), node_ids, true);
+      cluster.set_uplink(members[m]->id(), 0, true);
+      members[m]->join_group(parent.id(), [](Result<void>) {});
+      detached[m] = false;
+    } else if (dice < 0.38) {
+      // Flap the parent's uplink.
+      cluster.set_uplink(parent.id(), 0, rng.chance(0.5));
+    } else if (members[m]->unacked_count() < 64) {
+      auto txn = sessions[m]->begin();
+      sessions[m]->increment(txn, kX, 1);
+      if (sessions[m]->commit(std::move(txn)).ok()) ++expected;
+    }
+    cluster.run_for(rng.between(100, 600) * kMillisecond);
+  }
+
+  // Heal everything and let every queue drain.
+  cluster.set_uplink(parent.id(), 0, true);
+  for (std::size_t i = 0; i < kMembers; ++i) {
+    cluster.set_peer_links(members[i]->id(), node_ids, true);
+    cluster.set_uplink(members[i]->id(), 0, true);
+    if (detached[i]) {
+      members[i]->join_group(parent.id(), [](Result<void>) {});
+    }
+  }
+  cluster.run_for(40 * kSecond);
+
+  // Strong convergence across the whole deployment.
+  EXPECT_EQ(value_of(cluster.dc(0).store().current(kX)), expected);
+  EXPECT_EQ(value_of(parent.store().current(kX)), expected);
+  for (std::size_t i = 0; i < kMembers; ++i) {
+    EXPECT_EQ(value_of(members[i]->cached(kX)), expected)
+        << "member " << i << " seed " << seed;
+    EXPECT_EQ(members[i]->unacked_count(), 0u)
+        << "member " << i << " seed " << seed;
+  }
+  EXPECT_EQ(parent.forward_backlog(), 0u);
+  EXPECT_EQ(cluster.dc(0).committed(), static_cast<std::uint64_t>(expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupChurnTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace colony

@@ -1,0 +1,135 @@
+#include "storage/journal_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crdt/counter.hpp"
+#include "crdt/registers.hpp"
+
+namespace colony {
+namespace {
+
+const ObjectKey kKey{"bucket", "obj"};
+
+TEST(JournalStore, EnsureAndTypeChecks) {
+  JournalStore js;
+  EXPECT_FALSE(js.has(kKey));
+  EXPECT_TRUE(js.ensure(kKey, CrdtType::kPnCounter));
+  EXPECT_TRUE(js.has(kKey));
+  EXPECT_TRUE(js.ensure(kKey, CrdtType::kPnCounter));   // idempotent
+  EXPECT_FALSE(js.ensure(kKey, CrdtType::kOrSet));      // type clash
+  EXPECT_EQ(js.type_of(kKey), CrdtType::kPnCounter);
+}
+
+TEST(JournalStore, ApplyFoldsIntoCurrent) {
+  JournalStore js;
+  js.apply(kKey, CrdtType::kPnCounter, Dot{1, 1}, PnCounter::prepare_add(5));
+  js.apply(kKey, CrdtType::kPnCounter, Dot{1, 2}, PnCounter::prepare_add(3));
+  const auto* counter = dynamic_cast<const PnCounter*>(js.current(kKey));
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value(), 8);
+  EXPECT_EQ(js.journal_length(kKey), 2u);
+}
+
+TEST(JournalStore, MaskedOpJournalledButHidden) {
+  JournalStore js;
+  js.apply(kKey, CrdtType::kPnCounter, Dot{1, 1}, PnCounter::prepare_add(5));
+  js.apply(kKey, CrdtType::kPnCounter, Dot{2, 1}, PnCounter::prepare_add(100),
+           /*masked=*/true);
+  EXPECT_EQ(dynamic_cast<const PnCounter*>(js.current(kKey))->value(), 5);
+  EXPECT_EQ(js.journal_length(kKey), 2u);  // state kept, visibility filtered
+}
+
+TEST(JournalStore, RebuildCurrentUnmasks) {
+  JournalStore js;
+  js.apply(kKey, CrdtType::kPnCounter, Dot{1, 1}, PnCounter::prepare_add(5));
+  js.apply(kKey, CrdtType::kPnCounter, Dot{2, 1}, PnCounter::prepare_add(100),
+           /*masked=*/true);
+  js.rebuild_current(kKey, [](const Dot&) { return true; });
+  EXPECT_EQ(dynamic_cast<const PnCounter*>(js.current(kKey))->value(), 105);
+}
+
+TEST(JournalStore, MaterializeAtOlderCut) {
+  JournalStore js;
+  js.apply(kKey, CrdtType::kPnCounter, Dot{1, 1}, PnCounter::prepare_add(1));
+  js.apply(kKey, CrdtType::kPnCounter, Dot{1, 2}, PnCounter::prepare_add(2));
+  js.apply(kKey, CrdtType::kPnCounter, Dot{1, 3}, PnCounter::prepare_add(4));
+  const auto old_value = js.materialize(
+      kKey, [](const Dot& d) { return d.counter <= 2; });
+  EXPECT_EQ(dynamic_cast<const PnCounter*>(old_value.get())->value(), 3);
+  // Current unaffected.
+  EXPECT_EQ(dynamic_cast<const PnCounter*>(js.current(kKey))->value(), 7);
+}
+
+TEST(JournalStore, AdvanceBasePrunesJournal) {
+  JournalStore js;
+  js.apply(kKey, CrdtType::kPnCounter, Dot{1, 1}, PnCounter::prepare_add(1));
+  js.apply(kKey, CrdtType::kPnCounter, Dot{1, 2}, PnCounter::prepare_add(2));
+  js.apply(kKey, CrdtType::kPnCounter, Dot{1, 3}, PnCounter::prepare_add(4));
+  js.advance_base(kKey, [](const Dot& d) { return d.counter <= 2; });
+  EXPECT_EQ(js.journal_length(kKey), 1u);
+  // Value unchanged after baking.
+  EXPECT_EQ(dynamic_cast<const PnCounter*>(js.current(kKey))->value(), 7);
+  const auto all = js.materialize(kKey, [](const Dot&) { return true; });
+  EXPECT_EQ(dynamic_cast<const PnCounter*>(all.get())->value(), 7);
+}
+
+TEST(JournalStore, ExportImportSnapshot) {
+  JournalStore source;
+  source.apply(kKey, CrdtType::kPnCounter, Dot{1, 1},
+               PnCounter::prepare_add(9));
+  const auto snap = source.export_snapshot(kKey);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->applied, (std::vector<Dot>{{1, 1}}));
+
+  JournalStore dest;
+  dest.import_snapshot(*snap);
+  EXPECT_EQ(dynamic_cast<const PnCounter*>(dest.current(kKey))->value(), 9);
+}
+
+TEST(JournalStore, ImportedDotsAreNotReapplied) {
+  JournalStore source;
+  source.apply(kKey, CrdtType::kPnCounter, Dot{1, 1},
+               PnCounter::prepare_add(9));
+  JournalStore dest;
+  dest.import_snapshot(*source.export_snapshot(kKey));
+  // The same op arrives later through the push path: must be a no-op.
+  dest.apply(kKey, CrdtType::kPnCounter, Dot{1, 1},
+             PnCounter::prepare_add(9));
+  EXPECT_EQ(dynamic_cast<const PnCounter*>(dest.current(kKey))->value(), 9);
+  // A genuinely new op still applies.
+  dest.apply(kKey, CrdtType::kPnCounter, Dot{1, 2},
+             PnCounter::prepare_add(1));
+  EXPECT_EQ(dynamic_cast<const PnCounter*>(dest.current(kKey))->value(), 10);
+}
+
+TEST(JournalStore, ExportAtCutFiltersJournal) {
+  JournalStore js;
+  js.apply(kKey, CrdtType::kPnCounter, Dot{1, 1}, PnCounter::prepare_add(1));
+  js.apply(kKey, CrdtType::kPnCounter, Dot{1, 2}, PnCounter::prepare_add(2));
+  const auto snap =
+      js.export_at(kKey, [](const Dot& d) { return d.counter <= 1; });
+  ASSERT_TRUE(snap.has_value());
+  PnCounter restored;
+  restored.restore(snap->state);
+  EXPECT_EQ(restored.value(), 1);
+  EXPECT_EQ(snap->applied, (std::vector<Dot>{{1, 1}}));
+}
+
+TEST(JournalStore, EraseForgetsObject) {
+  JournalStore js;
+  js.apply(kKey, CrdtType::kPnCounter, Dot{1, 1}, PnCounter::prepare_add(1));
+  js.erase(kKey);
+  EXPECT_FALSE(js.has(kKey));
+  EXPECT_EQ(js.current(kKey), nullptr);
+  EXPECT_EQ(js.materialize(kKey, [](const Dot&) { return true; }), nullptr);
+}
+
+TEST(JournalStore, KeysEnumerates) {
+  JournalStore js;
+  js.ensure({"b", "x"}, CrdtType::kGSet);
+  js.ensure({"a", "y"}, CrdtType::kGSet);
+  EXPECT_EQ(js.keys().size(), 2u);
+}
+
+}  // namespace
+}  // namespace colony

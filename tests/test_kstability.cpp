@@ -1,0 +1,122 @@
+// K-stability (paper section 3.8): a transaction becomes visible to edge
+// nodes only once >= K data centres know it.
+#include <gtest/gtest.h>
+
+#include "colony/cluster.hpp"
+#include "colony/session.hpp"
+#include "crdt/counter.hpp"
+
+namespace colony {
+namespace {
+
+const ObjectKey kX{"app", "x"};
+
+std::int64_t cached_value(const EdgeNode& node) {
+  const auto* c = dynamic_cast<const PnCounter*>(node.cached(kX));
+  return c == nullptr ? 0 : c->value();
+}
+
+TEST(KStability, K2DelaysEdgeVisibilityUntilSecondDcKnows) {
+  ClusterConfig cfg;
+  cfg.num_dcs = 3;
+  cfg.k_stability = 2;
+  Cluster cluster(cfg);
+
+  EdgeNode& writer = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  EdgeNode& observer = cluster.add_edge(ClientMode::kClientCache, 1, 2);
+  Session ws(writer), os(observer);
+  os.subscribe({kX}, [](Result<void>) {});
+  cluster.run_for(1 * kSecond);
+
+  // Cut DC0's mesh links: its commits cannot become 2-stable.
+  cluster.network().set_link_up(cluster.dc_node_id(0), cluster.dc_node_id(1),
+                                false);
+  cluster.network().set_link_up(cluster.dc_node_id(0), cluster.dc_node_id(2),
+                                false);
+
+  auto txn = ws.begin();
+  ws.increment(txn, kX, 5);
+  ASSERT_TRUE(ws.commit(std::move(txn)).ok());
+  cluster.run_for(3 * kSecond);
+
+  // DC0 has it; the observer at DC1 must not see it (k = 1 < K = 2).
+  EXPECT_EQ(cluster.dc(0).committed(), 1u);
+  EXPECT_EQ(cached_value(observer), 0);
+
+  // Writer still reads its own write (read-my-writes).
+  EXPECT_EQ(cached_value(writer), 5);
+
+  // Heal the mesh: the transaction becomes 2-stable and reaches the edge.
+  cluster.network().set_link_up(cluster.dc_node_id(0), cluster.dc_node_id(1),
+                                true);
+  cluster.network().set_link_up(cluster.dc_node_id(0), cluster.dc_node_id(2),
+                                true);
+  cluster.run_for(5 * kSecond);
+  EXPECT_EQ(cached_value(observer), 5);
+}
+
+TEST(KStability, K1MakesUpdatesVisibleImmediately) {
+  ClusterConfig cfg;
+  cfg.num_dcs = 3;
+  cfg.k_stability = 1;
+  Cluster cluster(cfg);
+
+  EdgeNode& writer = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  EdgeNode& observer = cluster.add_edge(ClientMode::kClientCache, 0, 2);
+  Session ws(writer), os(observer);
+  os.subscribe({kX}, [](Result<void>) {});
+  cluster.run_for(1 * kSecond);
+
+  auto txn = ws.begin();
+  ws.increment(txn, kX, 5);
+  ASSERT_TRUE(ws.commit(std::move(txn)).ok());
+  cluster.run_for(2 * kSecond);
+  EXPECT_EQ(cached_value(observer), 5);
+}
+
+TEST(KStability, DcCutIsKStable) {
+  ClusterConfig cfg;
+  cfg.num_dcs = 3;
+  cfg.k_stability = 2;
+  Cluster cluster(cfg);
+  EdgeNode& writer = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  Session ws(writer);
+
+  auto txn = ws.begin();
+  ws.increment(txn, kX, 1);
+  ASSERT_TRUE(ws.commit(std::move(txn)).ok());
+  cluster.run_for(3 * kSecond);
+
+  // With a healthy mesh, the K-cut catches up to the commit everywhere.
+  for (DcId d = 0; d < 3; ++d) {
+    EXPECT_TRUE(VersionVector({1, 0, 0}).leq(cluster.dc(d).k_cut()))
+        << "DC " << d;
+  }
+}
+
+TEST(KStability, SubscribeSnapshotsRespectKCut) {
+  // A fresh subscriber during the partition gets the K-stable state, not
+  // DC0's unstable head.
+  ClusterConfig cfg;
+  cfg.num_dcs = 2;
+  cfg.k_stability = 2;
+  Cluster cluster(cfg);
+  EdgeNode& writer = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  Session ws(writer);
+
+  cluster.network().set_link_up(cluster.dc_node_id(0), cluster.dc_node_id(1),
+                                false);
+  auto txn = ws.begin();
+  ws.increment(txn, kX, 9);
+  ASSERT_TRUE(ws.commit(std::move(txn)).ok());
+  cluster.run_for(2 * kSecond);
+
+  EdgeNode& late = cluster.add_edge(ClientMode::kClientCache, 0, 3);
+  Session ls(late);
+  ls.subscribe({kX}, [](Result<void>) {});
+  cluster.run_for(2 * kSecond);
+  EXPECT_EQ(cached_value(late), 0);  // unstable update withheld
+}
+
+}  // namespace
+}  // namespace colony

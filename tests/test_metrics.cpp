@@ -1,0 +1,77 @@
+#include "util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace colony {
+namespace {
+
+TEST(LatencyHistogram, BasicStats) {
+  LatencyHistogram h;
+  for (SimTime v : {10, 20, 30, 40, 50}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.mean_us(), 30.0);
+  EXPECT_EQ(h.min_us(), 10u);
+  EXPECT_EQ(h.max_us(), 50u);
+  EXPECT_EQ(h.percentile_us(50), 30u);
+  EXPECT_EQ(h.percentile_us(0), 10u);
+  EXPECT_EQ(h.percentile_us(100), 50u);
+}
+
+TEST(LatencyHistogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean_us(), 0.0);
+  EXPECT_EQ(h.percentile_us(99), 0u);
+}
+
+TEST(LatencyHistogram, RecordAfterQueryResorts) {
+  LatencyHistogram h;
+  h.record(50);
+  EXPECT_EQ(h.max_us(), 50u);
+  h.record(10);
+  EXPECT_EQ(h.min_us(), 10u);
+  EXPECT_EQ(h.max_us(), 50u);
+}
+
+TEST(ThroughputCounter, RatesPerWindow) {
+  ThroughputCounter c(kSecond);
+  // 3 events in second 0, 1 event in second 2 (second 1 idle).
+  c.record(100 * kMillisecond);
+  c.record(200 * kMillisecond);
+  c.record(900 * kMillisecond);
+  c.record(2 * kSecond + 1);
+  const auto rates = c.rates_per_second();
+  ASSERT_EQ(rates.size(), 3u);
+  EXPECT_DOUBLE_EQ(rates[0], 3.0);
+  EXPECT_DOUBLE_EQ(rates[1], 0.0);
+  EXPECT_DOUBLE_EQ(rates[2], 1.0);
+  EXPECT_EQ(c.total(), 4u);
+}
+
+TEST(ThroughputCounter, SteadyRateTrimsEdges) {
+  ThroughputCounter c(kSecond);
+  // Warm-up second: 1 event; middle 6 seconds: 10 events each; cool-down: 1.
+  c.record(1);
+  for (int s = 1; s <= 6; ++s) {
+    for (int i = 0; i < 10; ++i) {
+      c.record(static_cast<SimTime>(s) * kSecond + static_cast<SimTime>(i));
+    }
+  }
+  c.record(7 * kSecond + 1);
+  EXPECT_NEAR(c.steady_rate_per_second(), 10.0, 2.6);
+}
+
+TEST(Series, WindowedQueries) {
+  Series s("test");
+  s.add(1 * kSecond, 5.0);
+  s.add(2 * kSecond, 15.0);
+  s.add(3 * kSecond, 25.0);
+  EXPECT_EQ(s.count_in(0, 10 * kSecond), 3u);
+  EXPECT_DOUBLE_EQ(s.mean_in(0, 10 * kSecond), 15.0);
+  EXPECT_DOUBLE_EQ(s.mean_in(2 * kSecond, 3 * kSecond), 15.0);
+  EXPECT_EQ(s.count_in(5 * kSecond, 6 * kSecond), 0u);
+  EXPECT_DOUBLE_EQ(s.mean_in(5 * kSecond, 6 * kSecond), 0.0);
+}
+
+}  // namespace
+}  // namespace colony

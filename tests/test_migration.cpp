@@ -1,0 +1,201 @@
+// Node migration between DCs (paper section 3.8): duplicate suppression,
+// equivalent commit timestamps, and causal compatibility checks.
+#include <gtest/gtest.h>
+
+#include "colony/cluster.hpp"
+#include "colony/session.hpp"
+#include "crdt/counter.hpp"
+
+namespace colony {
+namespace {
+
+const ObjectKey kX{"app", "x"};
+
+TEST(Migration, SeamlessWhenStatesCompatible) {
+  ClusterConfig cfg;
+  cfg.num_dcs = 2;
+  Cluster cluster(cfg);
+  EdgeNode& node = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  Session session(node);
+
+  auto txn = session.begin();
+  session.increment(txn, kX, 1);
+  ASSERT_TRUE(session.commit(std::move(txn)).ok());
+  cluster.run_for(3 * kSecond);  // acked by DC0, replicated to DC1
+
+  bool migrated = false;
+  node.migrate_to_dc(cluster.dc_node_id(1), [&](Result<void> r) {
+    ASSERT_TRUE(r.ok());
+    migrated = true;
+  });
+  cluster.run_for(2 * kSecond);
+  ASSERT_TRUE(migrated);
+  EXPECT_EQ(node.connected_dc(), cluster.dc_node_id(1));
+
+  // Work continues against the new DC.
+  auto txn2 = session.begin();
+  session.increment(txn2, kX, 1);
+  ASSERT_TRUE(session.commit(std::move(txn2)).ok());
+  cluster.run_for(3 * kSecond);
+  EXPECT_EQ(node.unacked_count(), 0u);
+  EXPECT_EQ(cluster.dc(1).committed(), 1u);  // sequenced at DC1 now
+}
+
+TEST(Migration, UnackedTransactionsResentWithoutDuplication) {
+  ClusterConfig cfg;
+  cfg.num_dcs = 2;
+  Cluster cluster(cfg);
+  EdgeNode& node = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  Session session(node);
+
+  // DC0 processes the commit but the ack is lost; then the node migrates.
+  auto txn = session.begin();
+  session.increment(txn, kX, 5);
+  ASSERT_TRUE(session.commit(std::move(txn)).ok());
+  cluster.run_for(20 * kMillisecond);  // request reaches the uplink
+  cluster.set_uplink(node.id(), 0, false);
+  cluster.run_for(2 * kSecond);
+  EXPECT_EQ(cluster.dc(0).committed(), 1u);  // DC0 has it
+  EXPECT_EQ(node.unacked_count(), 1u);       // node does not know
+
+  // Migrate to DC1 once DC0's commit replicated there.
+  cluster.run_for(2 * kSecond);
+  bool migrated = false;
+  node.migrate_to_dc(cluster.dc_node_id(1), [&](Result<void> r) {
+    migrated = r.ok();
+  });
+  cluster.run_for(5 * kSecond);
+  ASSERT_TRUE(migrated);
+  EXPECT_EQ(node.unacked_count(), 0u);
+
+  // Exactly one increment system-wide: the dot filtered the duplicate, and
+  // DC1 answered with the existing (equivalent) commit timestamp.
+  const auto* c0 =
+      dynamic_cast<const PnCounter*>(cluster.dc(0).store().current(kX));
+  const auto* c1 =
+      dynamic_cast<const PnCounter*>(cluster.dc(1).store().current(kX));
+  ASSERT_NE(c0, nullptr);
+  ASSERT_NE(c1, nullptr);
+  EXPECT_EQ(c0->value(), 5);
+  EXPECT_EQ(c1->value(), 5);
+}
+
+TEST(Migration, TrulyUnsentTransactionCommitsAtNewDc) {
+  ClusterConfig cfg;
+  cfg.num_dcs = 2;
+  Cluster cluster(cfg);
+  EdgeNode& node = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  Session session(node);
+
+  // Commit while fully offline: DC0 never hears about it.
+  cluster.set_uplink(node.id(), 0, false);
+  auto txn = session.begin();
+  session.increment(txn, kX, 7);
+  ASSERT_TRUE(session.commit(std::move(txn)).ok());
+  cluster.run_for(1 * kSecond);
+  EXPECT_EQ(cluster.dc(0).committed(), 0u);
+
+  bool migrated = false;
+  node.migrate_to_dc(cluster.dc_node_id(1), [&](Result<void> r) {
+    migrated = r.ok();
+  });
+  cluster.run_for(5 * kSecond);
+  ASSERT_TRUE(migrated);
+  EXPECT_EQ(node.unacked_count(), 0u);
+  EXPECT_EQ(cluster.dc(1).committed(), 1u);  // sequenced at DC1
+
+  cluster.run_for(3 * kSecond);  // replicate back to DC0
+  const auto* c0 =
+      dynamic_cast<const PnCounter*>(cluster.dc(0).store().current(kX));
+  ASSERT_NE(c0, nullptr);
+  EXPECT_EQ(c0->value(), 7);
+}
+
+TEST(Migration, IncompatibleWhenNewDcMissesDependencies) {
+  // The node's state depends on DC0 commits that never reached DC1.
+  ClusterConfig cfg;
+  cfg.num_dcs = 2;
+  Cluster cluster(cfg);
+  EdgeNode& node = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  Session session(node);
+
+  cluster.network().set_link_up(cluster.dc_node_id(0), cluster.dc_node_id(1),
+                                false);
+  auto txn = session.begin();
+  session.increment(txn, kX, 1);
+  ASSERT_TRUE(session.commit(std::move(txn)).ok());
+  cluster.run_for(2 * kSecond);
+  EXPECT_TRUE(VersionVector({1, 0}).leq(node.state_vector()));
+
+  bool incompatible = false;
+  node.migrate_to_dc(cluster.dc_node_id(1), [&](Result<void> r) {
+    incompatible =
+        !r.ok() && r.error().code == Error::Code::kIncompatible;
+  });
+  cluster.run_for(2 * kSecond);
+  EXPECT_TRUE(incompatible);
+
+  // Once the mesh heals, the migration succeeds on retry.
+  cluster.network().set_link_up(cluster.dc_node_id(0), cluster.dc_node_id(1),
+                                true);
+  cluster.run_for(2 * kSecond);
+  bool migrated = false;
+  node.migrate_to_dc(cluster.dc_node_id(1), [&](Result<void> r) {
+    migrated = r.ok();
+  });
+  cluster.run_for(2 * kSecond);
+  EXPECT_TRUE(migrated);
+}
+
+TEST(Migration, EquivalentCommitTimestampsRecorded) {
+  // Force the duplicate-send path and verify the transaction ends up with
+  // two accepting DCs on some replica's record (section 3.8 "a same
+  // transaction may carry up to N equivalent commit timestamps").
+  ClusterConfig cfg;
+  cfg.num_dcs = 2;
+  Cluster cluster(cfg);
+  EdgeNode& node = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  Session session(node);
+
+  // Cut the DC mesh so DC1 cannot learn the txn from DC0 before the node
+  // re-sends it there.
+  cluster.network().set_link_up(cluster.dc_node_id(0), cluster.dc_node_id(1),
+                                false);
+  auto txn = session.begin();
+  session.increment(txn, kX, 5);
+  const auto dot = session.commit(std::move(txn));
+  ASSERT_TRUE(dot.ok());
+  cluster.run_for(20 * kMillisecond);
+  cluster.set_uplink(node.id(), 0, false);  // ack lost
+  cluster.run_for(2 * kSecond);
+  ASSERT_EQ(cluster.dc(0).committed(), 1u);
+
+  // The node, still holding the unacked txn, migrates to DC1, which
+  // sequences it independently.
+  bool migrated = false;
+  node.migrate_to_dc(cluster.dc_node_id(1), [&](Result<void> r) {
+    migrated = r.ok();
+  });
+  cluster.run_for(5 * kSecond);
+  ASSERT_TRUE(migrated);
+  ASSERT_EQ(cluster.dc(1).committed(), 1u);
+
+  // Heal everything; both DCs replicate their copies and merge the
+  // equivalent commit info; the increment applies exactly once.
+  cluster.network().set_link_up(cluster.dc_node_id(0), cluster.dc_node_id(1),
+                                true);
+  cluster.run_for(5 * kSecond);
+  const Transaction* at_dc0 = cluster.dc(0).txns().find(dot.value());
+  ASSERT_NE(at_dc0, nullptr);
+  EXPECT_TRUE(at_dc0->meta.accepted_by(0));
+  EXPECT_TRUE(at_dc0->meta.accepted_by(1));
+  const auto* c0 =
+      dynamic_cast<const PnCounter*>(cluster.dc(0).store().current(kX));
+  const auto* c1 =
+      dynamic_cast<const PnCounter*>(cluster.dc(1).store().current(kX));
+  EXPECT_EQ(c0->value(), 5);
+  EXPECT_EQ(c1->value(), 5);
+}
+
+}  // namespace
+}  // namespace colony

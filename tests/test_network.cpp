@@ -1,0 +1,128 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace colony::sim {
+namespace {
+
+struct Recorder final : Actor {
+  Recorder(Network& net, NodeId id) : Actor(net, id) {}
+  std::vector<std::pair<std::uint32_t, SimTime>> received;
+
+  void handle(NodeId /*from*/, std::uint32_t kind,
+              const std::any& /*body*/) override {
+    received.emplace_back(kind, net_.now());
+  }
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  Scheduler sched;
+  Network net{sched, /*seed=*/1};
+};
+
+TEST_F(NetworkTest, DeliversWithLatency) {
+  Recorder a(net, 1), b(net, 2);
+  net.connect(1, 2, LatencyModel{10 * kMillisecond, 0});
+  net.send(1, 2, 42, {});
+  sched.run_all();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].first, 42u);
+  EXPECT_EQ(b.received[0].second, 10 * kMillisecond);
+  EXPECT_EQ(net.messages_delivered(), 1u);
+}
+
+TEST_F(NetworkTest, NoLinkDrops) {
+  Recorder a(net, 1), b(net, 2);
+  net.send(1, 2, 1, {});
+  sched.run_all();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.messages_dropped(), 1u);
+}
+
+TEST_F(NetworkTest, DownLinkDropsAndRecoveryDelivers) {
+  Recorder a(net, 1), b(net, 2);
+  net.connect(1, 2, LatencyModel{1 * kMillisecond, 0});
+  net.set_link_up(1, 2, false);
+  net.send(1, 2, 1, {});
+  sched.run_all();
+  EXPECT_TRUE(b.received.empty());
+  net.set_link_up(1, 2, true);
+  net.send(1, 2, 2, {});
+  sched.run_all();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].first, 2u);
+}
+
+TEST_F(NetworkTest, DownNodeDropsBothDirections) {
+  Recorder a(net, 1), b(net, 2);
+  net.connect(1, 2, LatencyModel{1 * kMillisecond, 0});
+  net.set_node_up(2, false);
+  net.send(1, 2, 1, {});
+  net.send(2, 1, 2, {});
+  sched.run_all();
+  EXPECT_TRUE(a.received.empty());
+  EXPECT_TRUE(b.received.empty());
+  net.set_node_up(2, true);
+  net.send(1, 2, 3, {});
+  sched.run_all();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, CrashInFlightDropsAtDelivery) {
+  Recorder a(net, 1), b(net, 2);
+  net.connect(1, 2, LatencyModel{10 * kMillisecond, 0});
+  net.send(1, 2, 1, {});
+  sched.run_until(5 * kMillisecond);
+  net.set_node_up(2, false);  // crashes while the message is in flight
+  sched.run_all();
+  EXPECT_TRUE(b.received.empty());
+}
+
+TEST_F(NetworkTest, PerLinkFifoDespiteJitter) {
+  Recorder a(net, 1), b(net, 2);
+  net.connect(1, 2, LatencyModel{10 * kMillisecond, 9 * kMillisecond});
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    net.send(1, 2, i, {});
+  }
+  sched.run_all();
+  ASSERT_EQ(b.received.size(), 50u);
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(b.received[i].first, i);  // FIFO preserved
+  }
+}
+
+TEST_F(NetworkTest, LossRateDropsSome) {
+  Recorder a(net, 1), b(net, 2);
+  LatencyModel lossy{1 * kMillisecond, 0, 0.5};
+  net.connect(1, 2, lossy);
+  for (int i = 0; i < 200; ++i) net.send(1, 2, 1, {});
+  sched.run_all();
+  EXPECT_GT(b.received.size(), 50u);
+  EXPECT_LT(b.received.size(), 150u);
+}
+
+TEST_F(NetworkTest, LatencySampleWithinJitterBounds) {
+  Rng rng(3);
+  const LatencyModel m{100, 30};
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime s = m.sample(rng);
+    EXPECT_GE(s, 70u);
+    EXPECT_LE(s, 130u);
+  }
+}
+
+TEST_F(NetworkTest, LinkQueries) {
+  Recorder a(net, 1), b(net, 2);
+  EXPECT_FALSE(net.link_exists(1, 2));
+  net.connect(1, 2, LatencyModel{1, 0});
+  EXPECT_TRUE(net.link_exists(1, 2));
+  EXPECT_TRUE(net.link_up(1, 2));
+  net.set_link_up(1, 2, false);
+  EXPECT_FALSE(net.link_up(1, 2));
+}
+
+}  // namespace
+}  // namespace colony::sim

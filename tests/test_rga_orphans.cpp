@@ -1,0 +1,82 @@
+// RGA orphan buffering: inserts/removes whose parent element is locally
+// unknown (a cache seeded from a snapshot older than already-observed
+// operations) are buffered invisibly and attach when the parent arrives.
+#include <gtest/gtest.h>
+
+#include "crdt/rga.hpp"
+
+namespace colony {
+namespace {
+
+Arb arb(Timestamp ts, NodeId node, std::uint64_t counter) {
+  return Arb{ts, Dot{node, counter}};
+}
+
+TEST(RgaOrphans, OrphanInsertInvisibleUntilParentArrives) {
+  Rga seq;
+  // Child references parent (1:1) that has not been applied here.
+  seq.apply(Rga::prepare_insert(Dot{1, 1}, "child", arb(2, 1, 2)));
+  EXPECT_TRUE(seq.values().empty());
+  EXPECT_EQ(seq.orphan_count(), 1u);
+
+  seq.apply(Rga::prepare_insert(Dot{}, "parent", arb(1, 1, 1)));
+  EXPECT_EQ(seq.values(), (std::vector<std::string>{"parent", "child"}));
+  EXPECT_EQ(seq.orphan_count(), 0u);
+}
+
+TEST(RgaOrphans, OrphanChainsAttachTransitively) {
+  Rga seq;
+  seq.apply(Rga::prepare_insert(Dot{1, 2}, "c", arb(3, 1, 3)));  // after b
+  seq.apply(Rga::prepare_insert(Dot{1, 1}, "b", arb(2, 1, 2)));  // after a
+  EXPECT_EQ(seq.orphan_count(), 2u);
+  seq.apply(Rga::prepare_insert(Dot{}, "a", arb(1, 1, 1)));
+  EXPECT_EQ(seq.values(), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(seq.orphan_count(), 0u);
+}
+
+TEST(RgaOrphans, OrphanRemoveAppliesOnArrival) {
+  Rga seq;
+  seq.apply(Rga::prepare_remove(Dot{1, 1}));  // element unknown yet
+  EXPECT_EQ(seq.orphan_count(), 1u);
+  seq.apply(Rga::prepare_insert(Dot{}, "doomed", arb(1, 1, 1)));
+  EXPECT_TRUE(seq.values().empty());  // tombstoned on arrival
+  EXPECT_EQ(seq.size(), 0u);
+  EXPECT_EQ(seq.orphan_count(), 0u);
+}
+
+TEST(RgaOrphans, SnapshotCarriesOrphans) {
+  Rga seq;
+  seq.apply(Rga::prepare_insert(Dot{1, 1}, "child", arb(2, 1, 2)));
+  seq.apply(Rga::prepare_remove(Dot{9, 9}));
+  Rga restored;
+  restored.restore(seq.snapshot());
+  EXPECT_EQ(restored.orphan_count(), 2u);
+  // The buffered child still attaches after restore.
+  restored.apply(Rga::prepare_insert(Dot{}, "parent", arb(1, 1, 1)));
+  EXPECT_EQ(restored.values(),
+            (std::vector<std::string>{"parent", "child"}));
+}
+
+TEST(RgaOrphans, CloneCarriesOrphans) {
+  Rga seq;
+  seq.apply(Rga::prepare_insert(Dot{1, 1}, "child", arb(2, 1, 2)));
+  auto clone_ptr = seq.clone();
+  auto* clone = dynamic_cast<Rga*>(clone_ptr.get());
+  clone->apply(Rga::prepare_insert(Dot{}, "parent", arb(1, 1, 1)));
+  EXPECT_EQ(clone->values(), (std::vector<std::string>{"parent", "child"}));
+  EXPECT_EQ(seq.orphan_count(), 1u);  // original untouched
+}
+
+TEST(RgaOrphans, ConvergesRegardlessOfOrphanOrder) {
+  const auto parent_op = Rga::prepare_insert(Dot{}, "p", arb(1, 1, 1));
+  const auto child_op = Rga::prepare_insert(Dot{1, 1}, "c", arb(2, 2, 1));
+  const auto sibling_op = Rga::prepare_insert(Dot{1, 1}, "s", arb(3, 3, 1));
+  Rga x, y;
+  x.apply(parent_op); x.apply(child_op); x.apply(sibling_op);
+  y.apply(sibling_op); y.apply(child_op); y.apply(parent_op);
+  EXPECT_EQ(x.values(), y.values());
+  EXPECT_EQ(x.snapshot(), y.snapshot());
+}
+
+}  // namespace
+}  // namespace colony

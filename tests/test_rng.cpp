@@ -1,0 +1,124 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace colony {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(42);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.below(7), 7u);
+  }
+}
+
+TEST(Rng, BetweenIsInclusive) {
+  Rng rng(42);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.between(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(9);
+  double sum = 0;
+  constexpr int kN = 50'000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(100.0);
+  EXPECT_NEAR(sum / kN, 100.0, 2.5);
+}
+
+TEST(Rng, NormalHasRequestedMoments) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  constexpr int kN = 50'000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(Rng, ParetoIsSkewed) {
+  // With alpha ~1.16, the top 20% of samples should carry most of the mass
+  // (the 80/20 rule the workload relies on).
+  Rng rng(13);
+  std::vector<double> samples;
+  for (int i = 0; i < 20'000; ++i) samples.push_back(rng.pareto(1.0, 1.16));
+  std::sort(samples.begin(), samples.end());
+  double total = 0, top = 0;
+  for (double s : samples) total += s;
+  for (std::size_t i = samples.size() * 4 / 5; i < samples.size(); ++i) {
+    top += samples[i];
+  }
+  EXPECT_GT(top / total, 0.6);
+}
+
+TEST(Rng, SkewedIndexFavoursLowIndices) {
+  Rng rng(17);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20'000; ++i) {
+    ++counts[rng.skewed_index(100, 1.16)];
+  }
+  int first_decile = 0;
+  for (int i = 0; i < 10; ++i) first_decile += counts[i];
+  EXPECT_GT(first_decile, 20'000 / 4);
+}
+
+TEST(Weighted, RespectsWeights) {
+  Rng rng(21);
+  Weighted w({1.0, 0.0, 3.0});
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40'000; ++i) ++counts[w.sample(rng)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(WeightedDeath, RejectsEmptyAndZero) {
+  EXPECT_DEATH(Weighted({}), "at least one weight");
+  EXPECT_DEATH(Weighted({0.0, 0.0}), "must not all be zero");
+}
+
+}  // namespace
+}  // namespace colony

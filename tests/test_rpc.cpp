@@ -1,0 +1,146 @@
+#include "sim/rpc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace colony::sim {
+namespace {
+
+/// Echo server; can also defer replies to test asynchronous servers.
+struct EchoServer final : RpcActor {
+  EchoServer(Network& net, NodeId id) : RpcActor(net, id) {}
+  bool defer = false;
+  ReplyFn deferred;
+
+  void on_message(NodeId, std::uint32_t, const std::any&) override {}
+  void on_request(NodeId /*from*/, std::uint32_t method,
+                  const std::any& payload, ReplyFn reply) override {
+    if (method == 99) {
+      reply(Error{Error::Code::kInvalidArgument, "bad method"});
+      return;
+    }
+    if (defer) {
+      deferred = std::move(reply);
+      return;
+    }
+    reply(std::any{std::any_cast<int>(payload) + 1});
+  }
+};
+
+struct Client final : RpcActor {
+  Client(Network& net, NodeId id) : RpcActor(net, id) {}
+  void on_message(NodeId, std::uint32_t, const std::any&) override {}
+  void on_request(NodeId, std::uint32_t, const std::any&,
+                  ReplyFn reply) override {
+    reply(Error{Error::Code::kInvalidArgument, "not a server"});
+  }
+};
+
+class RpcTest : public ::testing::Test {
+ protected:
+  Scheduler sched;
+  Network net{sched, 1};
+};
+
+TEST_F(RpcTest, RoundTrip) {
+  EchoServer server(net, 1);
+  Client client(net, 2);
+  net.connect(1, 2, LatencyModel{5 * kMillisecond, 0});
+
+  int got = 0;
+  SimTime completed_at = 0;
+  client.call(1, 7, 41, [&](Result<std::any> r) {
+    ASSERT_TRUE(r.ok());
+    got = std::any_cast<int>(r.value());
+    completed_at = sched.now();
+  });
+  sched.run_all();  // also drains the (ignored) timeout event
+  EXPECT_EQ(got, 42);
+  EXPECT_EQ(completed_at, 10 * kMillisecond);  // one round trip
+}
+
+TEST_F(RpcTest, ErrorsPropagate) {
+  EchoServer server(net, 1);
+  Client client(net, 2);
+  net.connect(1, 2, LatencyModel{1 * kMillisecond, 0});
+
+  Error::Code code{};
+  client.call(1, 99, 0, [&](Result<std::any> r) {
+    ASSERT_FALSE(r.ok());
+    code = r.error().code;
+  });
+  sched.run_all();
+  // Application errors surface as kUnavailable with the message preserved.
+  EXPECT_EQ(code, Error::Code::kUnavailable);
+}
+
+TEST_F(RpcTest, TimeoutFiresWhenServerUnreachable) {
+  EchoServer server(net, 1);
+  Client client(net, 2);
+  net.connect(1, 2, LatencyModel{1 * kMillisecond, 0});
+  net.set_link_up(1, 2, false);
+
+  bool timed_out = false;
+  client.call(1, 7, 1, [&](Result<std::any> r) {
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, Error::Code::kUnavailable);
+    timed_out = true;
+  }, /*timeout=*/1 * kSecond);
+  sched.run_all();
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(sched.now(), 1 * kSecond);
+}
+
+TEST_F(RpcTest, CallbackFiresExactlyOnceOnLateReply) {
+  EchoServer server(net, 1);
+  server.defer = true;
+  Client client(net, 2);
+  net.connect(1, 2, LatencyModel{1 * kMillisecond, 0});
+
+  int calls = 0;
+  client.call(1, 7, 1, [&](Result<std::any>) { ++calls; },
+              /*timeout=*/10 * kMillisecond);
+  sched.run_until(20 * kMillisecond);
+  EXPECT_EQ(calls, 1);  // timeout fired
+  server.deferred(std::any{5});  // late reply after timeout
+  sched.run_all();
+  EXPECT_EQ(calls, 1);  // ignored
+}
+
+TEST_F(RpcTest, AsynchronousServerReply) {
+  EchoServer server(net, 1);
+  server.defer = true;
+  Client client(net, 2);
+  net.connect(1, 2, LatencyModel{1 * kMillisecond, 0});
+
+  int got = 0;
+  client.call(1, 7, 1, [&](Result<std::any> r) {
+    ASSERT_TRUE(r.ok());
+    got = std::any_cast<int>(r.value());
+  });
+  sched.run_until(5 * kMillisecond);
+  ASSERT_TRUE(static_cast<bool>(server.deferred));
+  server.deferred(std::any{123});  // server answers later
+  sched.run_all();
+  EXPECT_EQ(got, 123);
+}
+
+TEST_F(RpcTest, ConcurrentCallsCorrelate) {
+  EchoServer server(net, 1);
+  Client client(net, 2);
+  net.connect(1, 2, LatencyModel{1 * kMillisecond, 0});
+
+  std::vector<int> results(10, 0);
+  for (int i = 0; i < 10; ++i) {
+    client.call(1, 7, i * 100, [&results, i](Result<std::any> r) {
+      ASSERT_TRUE(r.ok());
+      results[static_cast<std::size_t>(i)] = std::any_cast<int>(r.value());
+    });
+  }
+  sched.run_all();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)], i * 100 + 1);
+  }
+}
+
+}  // namespace
+}  // namespace colony::sim

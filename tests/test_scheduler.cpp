@@ -1,0 +1,86 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace colony::sim {
+namespace {
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.at(30, [&] { order.push_back(3); });
+  s.at(10, [&] { order.push_back(1); });
+  s.at(20, [&] { order.push_back(2); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30u);
+}
+
+TEST(Scheduler, SameTimeIsFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.at(7, [&order, i] { order.push_back(i); });
+  }
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, AfterIsRelative) {
+  Scheduler s;
+  s.at(100, [] {});
+  s.run_all();
+  SimTime fired_at = 0;
+  s.after(50, [&] { fired_at = s.now(); });
+  s.run_all();
+  EXPECT_EQ(fired_at, 150u);
+}
+
+TEST(Scheduler, EventsCanScheduleEvents) {
+  Scheduler s;
+  int fired = 0;
+  s.at(1, [&] {
+    ++fired;
+    s.after(1, [&] {
+      ++fired;
+      s.after(1, [&] { ++fired; });
+    });
+  });
+  s.run_all();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(s.now(), 3u);
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler s;
+  int fired = 0;
+  s.at(10, [&] { ++fired; });
+  s.at(20, [&] { ++fired; });
+  s.run_until(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), 15u);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run_until(25);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, StepReturnsFalseWhenEmpty) {
+  Scheduler s;
+  EXPECT_FALSE(s.step());
+  s.at(0, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+  EXPECT_EQ(s.executed(), 1u);
+}
+
+TEST(SchedulerDeath, RejectsPastEvents) {
+  Scheduler s;
+  s.at(10, [] {});
+  s.run_all();
+  EXPECT_DEATH(s.at(5, [] {}), "in the past");
+}
+
+}  // namespace
+}  // namespace colony::sim

@@ -1,0 +1,163 @@
+// System-level TCC+ property checks (paper section 3.1) on randomized
+// multi-DC, multi-edge runs with failure injection:
+//   * Causal Consistency — an observer that sees a dependent update sees
+//     its dependency;
+//   * Rollback-freedom — values read at a node never regress;
+//   * Strong Convergence — after quiescence all replicas agree;
+//   * Atomicity — a transaction's updates appear together.
+#include <gtest/gtest.h>
+
+#include "colony/cluster.hpp"
+#include "colony/session.hpp"
+#include "crdt/counter.hpp"
+#include "util/rng.hpp"
+
+namespace colony {
+namespace {
+
+const ObjectKey kA{"app", "a"};
+const ObjectKey kB{"app", "b"};
+
+std::int64_t value_of(const Crdt* c) {
+  const auto* counter = dynamic_cast<const PnCounter*>(c);
+  return counter == nullptr ? 0 : counter->value();
+}
+
+class TccRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TccRandomTest, InvariantsHoldUnderChurn) {
+  const std::uint64_t seed = GetParam();
+  ClusterConfig cfg;
+  cfg.num_dcs = 3;
+  cfg.k_stability = 1;
+  cfg.seed = seed;
+  Cluster cluster(cfg);
+  Rng rng(seed * 7 + 1);
+
+  constexpr std::size_t kEdges = 4;
+  std::vector<EdgeNode*> edges;
+  std::vector<std::unique_ptr<Session>> sessions;
+  for (std::size_t i = 0; i < kEdges; ++i) {
+    EdgeNode& node = cluster.add_edge(ClientMode::kClientCache,
+                                      static_cast<DcId>(i % 3), 10 + i);
+    edges.push_back(&node);
+    sessions.push_back(std::make_unique<Session>(node));
+    sessions.back()->subscribe({kA, kB}, [](Result<void>) {});
+  }
+  cluster.run_for(1 * kSecond);
+
+  // Causality pattern: every writer increments A, then (in a later txn)
+  // increments B. Observing n increments of B implies >= n of A from the
+  // same writer... aggregated: B's total never exceeds A's total at any
+  // observer. Rollback-freedom: per-node readings never regress.
+  std::vector<std::int64_t> last_a(kEdges, 0), last_b(kEdges, 0);
+
+  for (int round = 0; round < 60; ++round) {
+    const std::size_t w = rng.below(kEdges);
+    // Random failure injection.
+    if (rng.chance(0.1)) {
+      cluster.set_uplink(edges[w]->id(), static_cast<DcId>(w % 3),
+                         rng.chance(0.5));
+    }
+    if (rng.chance(0.05)) {
+      const DcId x = static_cast<DcId>(rng.below(3));
+      const DcId y = static_cast<DcId>(rng.below(3));
+      if (x != y) {
+        cluster.network().set_link_up(cluster.dc_node_id(x),
+                                      cluster.dc_node_id(y),
+                                      rng.chance(0.5));
+      }
+    }
+    if (edges[w]->unacked_count() < 100) {
+      auto ta = sessions[w]->begin();
+      sessions[w]->increment(ta, kA, 1);
+      ASSERT_TRUE(sessions[w]->commit(std::move(ta)).ok());
+      auto tb = sessions[w]->begin();
+      sessions[w]->increment(tb, kB, 1);
+      ASSERT_TRUE(sessions[w]->commit(std::move(tb)).ok());
+    }
+    cluster.run_for(rng.between(50, 400) * kMillisecond);
+
+    for (std::size_t i = 0; i < kEdges; ++i) {
+      const std::int64_t a = value_of(edges[i]->cached(kA));
+      const std::int64_t b = value_of(edges[i]->cached(kB));
+      // Rollback-freedom.
+      EXPECT_GE(a, last_a[i]) << "edge " << i << " rolled back A";
+      EXPECT_GE(b, last_b[i]) << "edge " << i << " rolled back B";
+      last_a[i] = a;
+      last_b[i] = b;
+    }
+    // Causal consistency at the DCs: B at a DC never exceeds A there,
+    // because each B-increment causally follows its A-increment.
+    for (DcId d = 0; d < 3; ++d) {
+      const std::int64_t a = value_of(cluster.dc(d).store().current(kA));
+      const std::int64_t b = value_of(cluster.dc(d).store().current(kB));
+      EXPECT_LE(b, a) << "DC " << d << " shows effect before cause";
+    }
+  }
+
+  // Heal everything and drain.
+  for (std::size_t i = 0; i < kEdges; ++i) {
+    for (DcId d = 0; d < 3; ++d) cluster.set_uplink(edges[i]->id(), d, true);
+  }
+  for (DcId x = 0; x < 3; ++x) {
+    for (DcId y = 0; y < 3; ++y) {
+      if (x != y) {
+        cluster.network().set_link_up(cluster.dc_node_id(x),
+                                      cluster.dc_node_id(y), true);
+      }
+    }
+  }
+  cluster.run_for(30 * kSecond);
+
+  // Strong convergence: all DCs agree; every edge agrees with its DC.
+  const std::int64_t a0 = value_of(cluster.dc(0).store().current(kA));
+  const std::int64_t b0 = value_of(cluster.dc(0).store().current(kB));
+  EXPECT_EQ(a0, b0);  // every writer paired its increments
+  for (DcId d = 1; d < 3; ++d) {
+    EXPECT_EQ(value_of(cluster.dc(d).store().current(kA)), a0);
+    EXPECT_EQ(value_of(cluster.dc(d).store().current(kB)), b0);
+  }
+  for (std::size_t i = 0; i < kEdges; ++i) {
+    EXPECT_EQ(value_of(edges[i]->cached(kA)), a0) << "edge " << i;
+    EXPECT_EQ(value_of(edges[i]->cached(kB)), b0) << "edge " << i;
+    EXPECT_EQ(edges[i]->unacked_count(), 0u) << "edge " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TccRandomTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(TccAtomicity, PairedUpdatesNeverObservedSplit) {
+  // One transaction updates A and B together; at every replica and every
+  // instant, the two counters must be equal (atomicity + snapshot).
+  ClusterConfig cfg;
+  cfg.num_dcs = 2;
+  Cluster cluster(cfg);
+  EdgeNode& writer = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  EdgeNode& reader = cluster.add_edge(ClientMode::kClientCache, 1, 2);
+  Session ws(writer), rs(reader);
+  rs.subscribe({kA, kB}, [](Result<void>) {});
+  cluster.run_for(1 * kSecond);
+
+  for (int i = 0; i < 10; ++i) {
+    auto txn = ws.begin();
+    ws.increment(txn, kA, 1);
+    ws.increment(txn, kB, 1);
+    ASSERT_TRUE(ws.commit(std::move(txn)).ok());
+    // Sample at fine granularity while the update propagates.
+    for (int step = 0; step < 20; ++step) {
+      cluster.run_for(37 * kMillisecond);
+      EXPECT_EQ(value_of(reader.cached(kA)), value_of(reader.cached(kB)))
+          << "atomicity violated at reader";
+      for (DcId d = 0; d < 2; ++d) {
+        EXPECT_EQ(value_of(cluster.dc(d).store().current(kA)),
+                  value_of(cluster.dc(d).store().current(kB)))
+            << "atomicity violated at DC " << d;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace colony

@@ -1,0 +1,109 @@
+#include "clock/version_vector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace colony {
+namespace {
+
+TEST(VersionVector, DefaultIsBottom) {
+  VersionVector v(3);
+  EXPECT_EQ(v.at(0), 0u);
+  EXPECT_EQ(v.at(2), 0u);
+  EXPECT_EQ(v.at(9), 0u);  // out-of-range components read as zero
+}
+
+TEST(VersionVector, SetAndGet) {
+  VersionVector v(3);
+  v.set(1, 42);
+  EXPECT_EQ(v.at(1), 42u);
+  v.set(5, 7);  // grows on demand
+  EXPECT_EQ(v.at(5), 7u);
+  EXPECT_EQ(v.size(), 6u);
+}
+
+TEST(VersionVector, MergeIsComponentwiseMax) {
+  VersionVector a{3, 0, 5};
+  VersionVector b{1, 4, 2};
+  a.merge(b);
+  EXPECT_EQ(a, (VersionVector{3, 4, 5}));
+}
+
+TEST(VersionVector, LubIsSymmetric) {
+  const VersionVector a{3, 0, 5};
+  const VersionVector b{1, 4, 2};
+  EXPECT_EQ(VersionVector::lub(a, b), VersionVector::lub(b, a));
+}
+
+TEST(VersionVector, PartialOrder) {
+  const VersionVector a{1, 2, 3};
+  const VersionVector b{2, 2, 3};
+  const VersionVector c{0, 5, 0};
+  EXPECT_TRUE(a.leq(b));
+  EXPECT_FALSE(b.leq(a));
+  EXPECT_TRUE(a.lt(b));
+  EXPECT_FALSE(a.lt(a));
+  EXPECT_TRUE(a.concurrent_with(c));
+  EXPECT_TRUE(c.concurrent_with(b));
+  EXPECT_FALSE(a.concurrent_with(b));
+}
+
+TEST(VersionVector, PaddingEquivalence) {
+  // [1,0] and [1] denote the same causal point.
+  const VersionVector a{1, 0};
+  const VersionVector b{1};
+  EXPECT_TRUE(a.leq(b));
+  EXPECT_TRUE(b.leq(a));
+  EXPECT_FALSE(a.lt(b));
+  EXPECT_FALSE(a.concurrent_with(b));
+}
+
+TEST(VersionVector, CodecRoundTrip) {
+  VersionVector v{9, 0, 123456789};
+  Encoder enc;
+  v.encode(enc);
+  EXPECT_EQ(enc.size(), v.wire_size());
+  Decoder dec(enc.data());
+  EXPECT_EQ(VersionVector::decode(dec), v);
+}
+
+TEST(VersionVector, WireSizeIsEightBytesPerDc) {
+  // Footnote 2: each component is 8 bytes.
+  VersionVector v(5);
+  EXPECT_EQ(v.wire_size(), 4u + 5 * 8u);
+}
+
+// --- K-stability cut --------------------------------------------------------
+
+TEST(KStableCut, KEqualsOneIsComponentwiseMax) {
+  const std::vector<VersionVector> states{{5, 1, 0}, {3, 4, 0}, {0, 0, 9}};
+  EXPECT_EQ(k_stable_cut(states, 1), (VersionVector{5, 4, 9}));
+}
+
+TEST(KStableCut, KEqualsNIsComponentwiseMin) {
+  const std::vector<VersionVector> states{{5, 1, 2}, {3, 4, 2}, {4, 2, 9}};
+  EXPECT_EQ(k_stable_cut(states, 3), (VersionVector{3, 1, 2}));
+}
+
+TEST(KStableCut, MiddleKPicksKthLargest) {
+  const std::vector<VersionVector> states{{5, 1, 2}, {3, 4, 2}, {4, 2, 9}};
+  EXPECT_EQ(k_stable_cut(states, 2), (VersionVector{4, 2, 2}));
+}
+
+TEST(KStableCut, MonotoneInK) {
+  const std::vector<VersionVector> states{{5, 1, 2}, {3, 4, 2}, {4, 2, 9}};
+  VersionVector prev = k_stable_cut(states, 1);
+  for (std::size_t k = 2; k <= 3; ++k) {
+    const VersionVector cut = k_stable_cut(states, k);
+    EXPECT_TRUE(cut.leq(prev)) << "K=" << k;
+    prev = cut;
+  }
+}
+
+TEST(KStableCutDeath, RejectsBadK) {
+  const std::vector<VersionVector> states{{1}, {2}};
+  EXPECT_DEATH(k_stable_cut(states, 0), "K out of range");
+  EXPECT_DEATH(k_stable_cut(states, 3), "K out of range");
+}
+
+}  // namespace
+}  // namespace colony

@@ -1,0 +1,114 @@
+// Reactive update subscriptions (section 6.1) and versioned reads
+// (section 4.1).
+#include <gtest/gtest.h>
+
+#include "colony/cluster.hpp"
+#include "colony/session.hpp"
+#include "crdt/counter.hpp"
+
+namespace colony {
+namespace {
+
+const ObjectKey kX{"app", "x"};
+const ObjectKey kY{"app", "y"};
+
+TEST(Watch, FiresOnOwnAndRemoteUpdates) {
+  ClusterConfig cfg;
+  Cluster cluster(cfg);
+  EdgeNode& a = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  EdgeNode& b = cluster.add_edge(ClientMode::kClientCache, 0, 2);
+  Session sa(a), sb(b);
+  sb.subscribe({kX}, [](Result<void>) {});
+  cluster.run_for(1 * kSecond);
+
+  int a_events = 0, b_events = 0;
+  sa.watch(kX, [&](const ObjectKey&) { ++a_events; });
+  sb.watch(kX, [&](const ObjectKey&) { ++b_events; });
+
+  auto txn = sa.begin();
+  sa.increment(txn, kX, 1);
+  ASSERT_TRUE(sa.commit(std::move(txn)).ok());
+  EXPECT_EQ(a_events, 1);  // own commit fires synchronously
+
+  cluster.run_for(3 * kSecond);
+  EXPECT_EQ(b_events, 1);  // remote update fires when pushed
+}
+
+TEST(Watch, OnlyMatchingKeyFires) {
+  ClusterConfig cfg;
+  Cluster cluster(cfg);
+  EdgeNode& a = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  Session sa(a);
+  int events = 0;
+  sa.watch(kY, [&](const ObjectKey&) { ++events; });
+  auto txn = sa.begin();
+  sa.increment(txn, kX, 1);
+  ASSERT_TRUE(sa.commit(std::move(txn)).ok());
+  EXPECT_EQ(events, 0);
+}
+
+TEST(Watch, UnwatchStops) {
+  ClusterConfig cfg;
+  Cluster cluster(cfg);
+  EdgeNode& a = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  Session sa(a);
+  int events = 0;
+  const auto handle = sa.watch(kX, [&](const ObjectKey&) { ++events; });
+  auto t1 = sa.begin();
+  sa.increment(t1, kX, 1);
+  ASSERT_TRUE(sa.commit(std::move(t1)).ok());
+  sa.unwatch(handle);
+  auto t2 = sa.begin();
+  sa.increment(t2, kX, 1);
+  ASSERT_TRUE(sa.commit(std::move(t2)).ok());
+  EXPECT_EQ(events, 1);
+}
+
+TEST(Watch, MultipleWatchersSameKey) {
+  ClusterConfig cfg;
+  Cluster cluster(cfg);
+  EdgeNode& a = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  Session sa(a);
+  int first = 0, second = 0;
+  sa.watch(kX, [&](const ObjectKey&) { ++first; });
+  sa.watch(kX, [&](const ObjectKey&) { ++second; });
+  auto txn = sa.begin();
+  sa.increment(txn, kX, 1);
+  ASSERT_TRUE(sa.commit(std::move(txn)).ok());
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(Versioning, ReadAtOlderCut) {
+  ClusterConfig cfg;
+  Cluster cluster(cfg);
+  EdgeNode& node = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  Session session(node);
+
+  // Three resolved commits: states [1], [2], [3].
+  for (int i = 0; i < 3; ++i) {
+    auto txn = session.begin();
+    session.increment(txn, kX, 1);
+    ASSERT_TRUE(session.commit(std::move(txn)).ok());
+    cluster.run_for(2 * kSecond);
+  }
+  ASSERT_EQ(node.state_vector(), (VersionVector{3}));
+
+  for (Timestamp cut = 0; cut <= 3; ++cut) {
+    const auto value = session.read_version(kX, VersionVector{cut});
+    ASSERT_NE(value, nullptr) << "cut " << cut;
+    EXPECT_EQ(dynamic_cast<const PnCounter*>(value.get())->value(),
+              static_cast<std::int64_t>(cut))
+        << "cut " << cut;
+  }
+}
+
+TEST(Versioning, UncachedReturnsNull) {
+  ClusterConfig cfg;
+  Cluster cluster(cfg);
+  EdgeNode& node = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  EXPECT_EQ(node.read_at(kX, VersionVector{0}), nullptr);
+}
+
+}  // namespace
+}  // namespace colony
