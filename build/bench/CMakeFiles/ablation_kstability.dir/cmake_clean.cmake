@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kstability.dir/ablation_kstability.cpp.o"
+  "CMakeFiles/ablation_kstability.dir/ablation_kstability.cpp.o.d"
+  "ablation_kstability"
+  "ablation_kstability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kstability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_dc_disconnect.dir/fig5_dc_disconnect.cpp.o"
+  "CMakeFiles/fig5_dc_disconnect.dir/fig5_dc_disconnect.cpp.o.d"
+  "fig5_dc_disconnect"
+  "fig5_dc_disconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_dc_disconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

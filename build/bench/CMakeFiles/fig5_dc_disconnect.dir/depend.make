@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_dc_disconnect.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_peer_disconnect.dir/fig6_peer_disconnect.cpp.o"
+  "CMakeFiles/fig6_peer_disconnect.dir/fig6_peer_disconnect.cpp.o.d"
+  "fig6_peer_disconnect"
+  "fig6_peer_disconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_peer_disconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

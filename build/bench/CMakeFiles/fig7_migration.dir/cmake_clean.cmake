@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_migration.dir/fig7_migration.cpp.o"
+  "CMakeFiles/fig7_migration.dir/fig7_migration.cpp.o.d"
+  "fig7_migration"
+  "fig7_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_clock.cpp" "bench/CMakeFiles/micro_benchmarks.dir/micro_clock.cpp.o" "gcc" "bench/CMakeFiles/micro_benchmarks.dir/micro_clock.cpp.o.d"
+  "/root/repo/bench/micro_crdt.cpp" "bench/CMakeFiles/micro_benchmarks.dir/micro_crdt.cpp.o" "gcc" "bench/CMakeFiles/micro_benchmarks.dir/micro_crdt.cpp.o.d"
+  "/root/repo/bench/micro_epaxos.cpp" "bench/CMakeFiles/micro_benchmarks.dir/micro_epaxos.cpp.o" "gcc" "bench/CMakeFiles/micro_benchmarks.dir/micro_epaxos.cpp.o.d"
+  "/root/repo/bench/micro_journal.cpp" "bench/CMakeFiles/micro_benchmarks.dir/micro_journal.cpp.o" "gcc" "bench/CMakeFiles/micro_benchmarks.dir/micro_journal.cpp.o.d"
+  "/root/repo/bench/micro_visibility.cpp" "bench/CMakeFiles/micro_benchmarks.dir/micro_visibility.cpp.o" "gcc" "bench/CMakeFiles/micro_benchmarks.dir/micro_visibility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/colony_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_crdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_benchmarks.dir/micro_clock.cpp.o"
+  "CMakeFiles/micro_benchmarks.dir/micro_clock.cpp.o.d"
+  "CMakeFiles/micro_benchmarks.dir/micro_crdt.cpp.o"
+  "CMakeFiles/micro_benchmarks.dir/micro_crdt.cpp.o.d"
+  "CMakeFiles/micro_benchmarks.dir/micro_epaxos.cpp.o"
+  "CMakeFiles/micro_benchmarks.dir/micro_epaxos.cpp.o.d"
+  "CMakeFiles/micro_benchmarks.dir/micro_journal.cpp.o"
+  "CMakeFiles/micro_benchmarks.dir/micro_journal.cpp.o.d"
+  "CMakeFiles/micro_benchmarks.dir/micro_visibility.cpp.o"
+  "CMakeFiles/micro_benchmarks.dir/micro_visibility.cpp.o.d"
+  "micro_benchmarks"
+  "micro_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chat_room.dir/chat_room.cpp.o"
+  "CMakeFiles/chat_room.dir/chat_room.cpp.o.d"
+  "chat_room"
+  "chat_room.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chat_room.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

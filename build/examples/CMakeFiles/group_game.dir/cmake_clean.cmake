@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_game.dir/group_game.cpp.o"
+  "CMakeFiles/group_game.dir/group_game.cpp.o.d"
+  "group_game"
+  "group_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

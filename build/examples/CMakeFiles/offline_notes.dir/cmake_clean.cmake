@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_notes.dir/offline_notes.cpp.o"
+  "CMakeFiles/offline_notes.dir/offline_notes.cpp.o.d"
+  "offline_notes"
+  "offline_notes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_notes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/secure_board.cpp" "examples/CMakeFiles/secure_board.dir/secure_board.cpp.o" "gcc" "examples/CMakeFiles/secure_board.dir/secure_board.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/colony_chat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_group.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_dc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_crdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

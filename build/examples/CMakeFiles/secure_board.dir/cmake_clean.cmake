@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_board.dir/secure_board.cpp.o"
+  "CMakeFiles/secure_board.dir/secure_board.cpp.o.d"
+  "secure_board"
+  "secure_board.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_board.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colony_api.dir/colony/cluster.cpp.o"
+  "CMakeFiles/colony_api.dir/colony/cluster.cpp.o.d"
+  "CMakeFiles/colony_api.dir/colony/session.cpp.o"
+  "CMakeFiles/colony_api.dir/colony/session.cpp.o.d"
+  "libcolony_api.a"
+  "libcolony_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colony_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

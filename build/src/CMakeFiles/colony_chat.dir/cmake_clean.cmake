@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colony_chat.dir/chat/driver.cpp.o"
+  "CMakeFiles/colony_chat.dir/chat/driver.cpp.o.d"
+  "CMakeFiles/colony_chat.dir/chat/model.cpp.o"
+  "CMakeFiles/colony_chat.dir/chat/model.cpp.o.d"
+  "CMakeFiles/colony_chat.dir/chat/trace.cpp.o"
+  "CMakeFiles/colony_chat.dir/chat/trace.cpp.o.d"
+  "libcolony_chat.a"
+  "libcolony_chat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colony_chat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

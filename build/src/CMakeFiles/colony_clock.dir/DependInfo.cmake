@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clock/dot_tracker.cpp" "src/CMakeFiles/colony_clock.dir/clock/dot_tracker.cpp.o" "gcc" "src/CMakeFiles/colony_clock.dir/clock/dot_tracker.cpp.o.d"
+  "/root/repo/src/clock/hlc.cpp" "src/CMakeFiles/colony_clock.dir/clock/hlc.cpp.o" "gcc" "src/CMakeFiles/colony_clock.dir/clock/hlc.cpp.o.d"
+  "/root/repo/src/clock/version_vector.cpp" "src/CMakeFiles/colony_clock.dir/clock/version_vector.cpp.o" "gcc" "src/CMakeFiles/colony_clock.dir/clock/version_vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/colony_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colony_clock.dir/clock/dot_tracker.cpp.o"
+  "CMakeFiles/colony_clock.dir/clock/dot_tracker.cpp.o.d"
+  "CMakeFiles/colony_clock.dir/clock/hlc.cpp.o"
+  "CMakeFiles/colony_clock.dir/clock/hlc.cpp.o.d"
+  "CMakeFiles/colony_clock.dir/clock/version_vector.cpp.o"
+  "CMakeFiles/colony_clock.dir/clock/version_vector.cpp.o.d"
+  "libcolony_clock.a"
+  "libcolony_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colony_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

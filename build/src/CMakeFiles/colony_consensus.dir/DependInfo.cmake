@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consensus/epaxos.cpp" "src/CMakeFiles/colony_consensus.dir/consensus/epaxos.cpp.o" "gcc" "src/CMakeFiles/colony_consensus.dir/consensus/epaxos.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/colony_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

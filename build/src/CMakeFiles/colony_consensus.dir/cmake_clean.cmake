@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colony_consensus.dir/consensus/epaxos.cpp.o"
+  "CMakeFiles/colony_consensus.dir/consensus/epaxos.cpp.o.d"
+  "libcolony_consensus.a"
+  "libcolony_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colony_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

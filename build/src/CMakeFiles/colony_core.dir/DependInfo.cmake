@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/txn.cpp" "src/CMakeFiles/colony_core.dir/core/txn.cpp.o" "gcc" "src/CMakeFiles/colony_core.dir/core/txn.cpp.o.d"
+  "/root/repo/src/core/txn_log.cpp" "src/CMakeFiles/colony_core.dir/core/txn_log.cpp.o" "gcc" "src/CMakeFiles/colony_core.dir/core/txn_log.cpp.o.d"
+  "/root/repo/src/core/visibility.cpp" "src/CMakeFiles/colony_core.dir/core/visibility.cpp.o" "gcc" "src/CMakeFiles/colony_core.dir/core/visibility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/colony_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_crdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colony_core.dir/core/txn.cpp.o"
+  "CMakeFiles/colony_core.dir/core/txn.cpp.o.d"
+  "CMakeFiles/colony_core.dir/core/txn_log.cpp.o"
+  "CMakeFiles/colony_core.dir/core/txn_log.cpp.o.d"
+  "CMakeFiles/colony_core.dir/core/visibility.cpp.o"
+  "CMakeFiles/colony_core.dir/core/visibility.cpp.o.d"
+  "libcolony_core.a"
+  "libcolony_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colony_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

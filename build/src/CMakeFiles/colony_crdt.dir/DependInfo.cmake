@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crdt/counter.cpp" "src/CMakeFiles/colony_crdt.dir/crdt/counter.cpp.o" "gcc" "src/CMakeFiles/colony_crdt.dir/crdt/counter.cpp.o.d"
+  "/root/repo/src/crdt/maps.cpp" "src/CMakeFiles/colony_crdt.dir/crdt/maps.cpp.o" "gcc" "src/CMakeFiles/colony_crdt.dir/crdt/maps.cpp.o.d"
+  "/root/repo/src/crdt/or_set.cpp" "src/CMakeFiles/colony_crdt.dir/crdt/or_set.cpp.o" "gcc" "src/CMakeFiles/colony_crdt.dir/crdt/or_set.cpp.o.d"
+  "/root/repo/src/crdt/registers.cpp" "src/CMakeFiles/colony_crdt.dir/crdt/registers.cpp.o" "gcc" "src/CMakeFiles/colony_crdt.dir/crdt/registers.cpp.o.d"
+  "/root/repo/src/crdt/registry.cpp" "src/CMakeFiles/colony_crdt.dir/crdt/registry.cpp.o" "gcc" "src/CMakeFiles/colony_crdt.dir/crdt/registry.cpp.o.d"
+  "/root/repo/src/crdt/rga.cpp" "src/CMakeFiles/colony_crdt.dir/crdt/rga.cpp.o" "gcc" "src/CMakeFiles/colony_crdt.dir/crdt/rga.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/colony_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

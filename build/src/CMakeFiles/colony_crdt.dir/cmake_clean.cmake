@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colony_crdt.dir/crdt/counter.cpp.o"
+  "CMakeFiles/colony_crdt.dir/crdt/counter.cpp.o.d"
+  "CMakeFiles/colony_crdt.dir/crdt/maps.cpp.o"
+  "CMakeFiles/colony_crdt.dir/crdt/maps.cpp.o.d"
+  "CMakeFiles/colony_crdt.dir/crdt/or_set.cpp.o"
+  "CMakeFiles/colony_crdt.dir/crdt/or_set.cpp.o.d"
+  "CMakeFiles/colony_crdt.dir/crdt/registers.cpp.o"
+  "CMakeFiles/colony_crdt.dir/crdt/registers.cpp.o.d"
+  "CMakeFiles/colony_crdt.dir/crdt/registry.cpp.o"
+  "CMakeFiles/colony_crdt.dir/crdt/registry.cpp.o.d"
+  "CMakeFiles/colony_crdt.dir/crdt/rga.cpp.o"
+  "CMakeFiles/colony_crdt.dir/crdt/rga.cpp.o.d"
+  "libcolony_crdt.a"
+  "libcolony_crdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colony_crdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

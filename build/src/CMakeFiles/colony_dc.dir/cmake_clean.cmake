@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colony_dc.dir/dc/dc_node.cpp.o"
+  "CMakeFiles/colony_dc.dir/dc/dc_node.cpp.o.d"
+  "CMakeFiles/colony_dc.dir/dc/shard.cpp.o"
+  "CMakeFiles/colony_dc.dir/dc/shard.cpp.o.d"
+  "libcolony_dc.a"
+  "libcolony_dc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colony_dc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colony_edge.dir/edge/edge_node.cpp.o"
+  "CMakeFiles/colony_edge.dir/edge/edge_node.cpp.o.d"
+  "libcolony_edge.a"
+  "libcolony_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colony_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcolony_edge.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colony_group.dir/group/peer_group.cpp.o"
+  "CMakeFiles/colony_group.dir/group/peer_group.cpp.o.d"
+  "libcolony_group.a"
+  "libcolony_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colony_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colony_security.dir/security/acl.cpp.o"
+  "CMakeFiles/colony_security.dir/security/acl.cpp.o.d"
+  "CMakeFiles/colony_security.dir/security/crypto_sim.cpp.o"
+  "CMakeFiles/colony_security.dir/security/crypto_sim.cpp.o.d"
+  "CMakeFiles/colony_security.dir/security/sealed.cpp.o"
+  "CMakeFiles/colony_security.dir/security/sealed.cpp.o.d"
+  "libcolony_security.a"
+  "libcolony_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colony_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/colony_sim.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/colony_sim.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/rpc.cpp" "src/CMakeFiles/colony_sim.dir/sim/rpc.cpp.o" "gcc" "src/CMakeFiles/colony_sim.dir/sim/rpc.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/colony_sim.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/colony_sim.dir/sim/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/colony_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

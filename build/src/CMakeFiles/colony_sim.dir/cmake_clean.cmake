@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colony_sim.dir/sim/network.cpp.o"
+  "CMakeFiles/colony_sim.dir/sim/network.cpp.o.d"
+  "CMakeFiles/colony_sim.dir/sim/rpc.cpp.o"
+  "CMakeFiles/colony_sim.dir/sim/rpc.cpp.o.d"
+  "CMakeFiles/colony_sim.dir/sim/scheduler.cpp.o"
+  "CMakeFiles/colony_sim.dir/sim/scheduler.cpp.o.d"
+  "libcolony_sim.a"
+  "libcolony_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colony_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/cache.cpp" "src/CMakeFiles/colony_storage.dir/storage/cache.cpp.o" "gcc" "src/CMakeFiles/colony_storage.dir/storage/cache.cpp.o.d"
+  "/root/repo/src/storage/hash_ring.cpp" "src/CMakeFiles/colony_storage.dir/storage/hash_ring.cpp.o" "gcc" "src/CMakeFiles/colony_storage.dir/storage/hash_ring.cpp.o.d"
+  "/root/repo/src/storage/journal_store.cpp" "src/CMakeFiles/colony_storage.dir/storage/journal_store.cpp.o" "gcc" "src/CMakeFiles/colony_storage.dir/storage/journal_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/colony_crdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colony_storage.dir/storage/cache.cpp.o"
+  "CMakeFiles/colony_storage.dir/storage/cache.cpp.o.d"
+  "CMakeFiles/colony_storage.dir/storage/hash_ring.cpp.o"
+  "CMakeFiles/colony_storage.dir/storage/hash_ring.cpp.o.d"
+  "CMakeFiles/colony_storage.dir/storage/journal_store.cpp.o"
+  "CMakeFiles/colony_storage.dir/storage/journal_store.cpp.o.d"
+  "libcolony_storage.a"
+  "libcolony_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colony_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

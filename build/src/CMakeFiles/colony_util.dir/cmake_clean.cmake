@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colony_util.dir/util/binary_codec.cpp.o"
+  "CMakeFiles/colony_util.dir/util/binary_codec.cpp.o.d"
+  "CMakeFiles/colony_util.dir/util/metrics.cpp.o"
+  "CMakeFiles/colony_util.dir/util/metrics.cpp.o.d"
+  "CMakeFiles/colony_util.dir/util/rng.cpp.o"
+  "CMakeFiles/colony_util.dir/util/rng.cpp.o.d"
+  "libcolony_util.a"
+  "libcolony_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colony_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,76 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_acl.cpp" "tests/CMakeFiles/colony_tests.dir/test_acl.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_acl.cpp.o.d"
+  "/root/repo/tests/test_binary_codec.cpp" "tests/CMakeFiles/colony_tests.dir/test_binary_codec.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_binary_codec.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/colony_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_chat_bots.cpp" "tests/CMakeFiles/colony_tests.dir/test_chat_bots.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_chat_bots.cpp.o.d"
+  "/root/repo/tests/test_chat_workload.cpp" "tests/CMakeFiles/colony_tests.dir/test_chat_workload.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_chat_workload.cpp.o.d"
+  "/root/repo/tests/test_cluster_topology.cpp" "tests/CMakeFiles/colony_tests.dir/test_cluster_topology.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_cluster_topology.cpp.o.d"
+  "/root/repo/tests/test_crdt_counter.cpp" "tests/CMakeFiles/colony_tests.dir/test_crdt_counter.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_crdt_counter.cpp.o.d"
+  "/root/repo/tests/test_crdt_maps.cpp" "tests/CMakeFiles/colony_tests.dir/test_crdt_maps.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_crdt_maps.cpp.o.d"
+  "/root/repo/tests/test_crdt_properties.cpp" "tests/CMakeFiles/colony_tests.dir/test_crdt_properties.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_crdt_properties.cpp.o.d"
+  "/root/repo/tests/test_crdt_registers.cpp" "tests/CMakeFiles/colony_tests.dir/test_crdt_registers.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_crdt_registers.cpp.o.d"
+  "/root/repo/tests/test_crdt_rga.cpp" "tests/CMakeFiles/colony_tests.dir/test_crdt_rga.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_crdt_rga.cpp.o.d"
+  "/root/repo/tests/test_crdt_sets.cpp" "tests/CMakeFiles/colony_tests.dir/test_crdt_sets.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_crdt_sets.cpp.o.d"
+  "/root/repo/tests/test_crypto_sim.cpp" "tests/CMakeFiles/colony_tests.dir/test_crypto_sim.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_crypto_sim.cpp.o.d"
+  "/root/repo/tests/test_dc_basic.cpp" "tests/CMakeFiles/colony_tests.dir/test_dc_basic.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_dc_basic.cpp.o.d"
+  "/root/repo/tests/test_determinism.cpp" "tests/CMakeFiles/colony_tests.dir/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_determinism.cpp.o.d"
+  "/root/repo/tests/test_dot_tracker.cpp" "tests/CMakeFiles/colony_tests.dir/test_dot_tracker.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_dot_tracker.cpp.o.d"
+  "/root/repo/tests/test_edge_basic.cpp" "tests/CMakeFiles/colony_tests.dir/test_edge_basic.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_edge_basic.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/colony_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_edge_offline.cpp" "tests/CMakeFiles/colony_tests.dir/test_edge_offline.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_edge_offline.cpp.o.d"
+  "/root/repo/tests/test_epaxos.cpp" "tests/CMakeFiles/colony_tests.dir/test_epaxos.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_epaxos.cpp.o.d"
+  "/root/repo/tests/test_epaxos_recovery.cpp" "tests/CMakeFiles/colony_tests.dir/test_epaxos_recovery.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_epaxos_recovery.cpp.o.d"
+  "/root/repo/tests/test_group_migration.cpp" "tests/CMakeFiles/colony_tests.dir/test_group_migration.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_group_migration.cpp.o.d"
+  "/root/repo/tests/test_group_properties.cpp" "tests/CMakeFiles/colony_tests.dir/test_group_properties.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_group_properties.cpp.o.d"
+  "/root/repo/tests/test_hash_ring.cpp" "tests/CMakeFiles/colony_tests.dir/test_hash_ring.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_hash_ring.cpp.o.d"
+  "/root/repo/tests/test_hlc.cpp" "tests/CMakeFiles/colony_tests.dir/test_hlc.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_hlc.cpp.o.d"
+  "/root/repo/tests/test_journal_store.cpp" "tests/CMakeFiles/colony_tests.dir/test_journal_store.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_journal_store.cpp.o.d"
+  "/root/repo/tests/test_kstability.cpp" "tests/CMakeFiles/colony_tests.dir/test_kstability.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_kstability.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/colony_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_migration.cpp" "tests/CMakeFiles/colony_tests.dir/test_migration.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_migration.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/colony_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_peer_group.cpp" "tests/CMakeFiles/colony_tests.dir/test_peer_group.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_peer_group.cpp.o.d"
+  "/root/repo/tests/test_rga_orphans.cpp" "tests/CMakeFiles/colony_tests.dir/test_rga_orphans.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_rga_orphans.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/colony_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_rpc.cpp" "tests/CMakeFiles/colony_tests.dir/test_rpc.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_rpc.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/colony_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_sealed_e2e.cpp" "tests/CMakeFiles/colony_tests.dir/test_sealed_e2e.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_sealed_e2e.cpp.o.d"
+  "/root/repo/tests/test_security_e2e.cpp" "tests/CMakeFiles/colony_tests.dir/test_security_e2e.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_security_e2e.cpp.o.d"
+  "/root/repo/tests/test_session_api.cpp" "tests/CMakeFiles/colony_tests.dir/test_session_api.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_session_api.cpp.o.d"
+  "/root/repo/tests/test_shard.cpp" "tests/CMakeFiles/colony_tests.dir/test_shard.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_shard.cpp.o.d"
+  "/root/repo/tests/test_tcc_properties.cpp" "tests/CMakeFiles/colony_tests.dir/test_tcc_properties.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_tcc_properties.cpp.o.d"
+  "/root/repo/tests/test_txn_meta.cpp" "tests/CMakeFiles/colony_tests.dir/test_txn_meta.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_txn_meta.cpp.o.d"
+  "/root/repo/tests/test_txn_migration.cpp" "tests/CMakeFiles/colony_tests.dir/test_txn_migration.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_txn_migration.cpp.o.d"
+  "/root/repo/tests/test_version_vector.cpp" "tests/CMakeFiles/colony_tests.dir/test_version_vector.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_version_vector.cpp.o.d"
+  "/root/repo/tests/test_visibility.cpp" "tests/CMakeFiles/colony_tests.dir/test_visibility.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_visibility.cpp.o.d"
+  "/root/repo/tests/test_watch_versioning.cpp" "tests/CMakeFiles/colony_tests.dir/test_watch_versioning.cpp.o" "gcc" "tests/CMakeFiles/colony_tests.dir/test_watch_versioning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/colony_chat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_group.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_dc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_crdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/colony_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
