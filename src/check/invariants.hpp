@@ -1,0 +1,102 @@
+// TCC+ invariant checkers over a live simulated cluster.
+//
+// The chaos harness drives the cluster through adversarial fault schedules
+// and, at audit points, asserts the paper's headline guarantees end-to-end:
+//
+//   * strong convergence  — after a quiescent heal, every replica of an
+//     object holds the byte-identical state (Letia/Preguiça/Shapiro);
+//   * causal order        — no transaction became visible before its
+//     effective snapshot was covered (version-vector audit of the
+//     visibility log);
+//   * atomic visibility   — a transaction's operations are reflected
+//     all-or-nothing in the journals of the keys it touched;
+//   * K-stability         — nothing is visible at a client-cache edge
+//     unless >= K data centres know it (checkable mid-run);
+//   * exactly-once        — no dot is applied twice into any journal, even
+//     under duplicated delivery (DotTracker's contract).
+//
+// Checkers append human-readable violations to a Report instead of
+// asserting, so the harness can dump the full fault schedule + seed and
+// shrink it before failing the test.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "colony/cluster.hpp"
+
+namespace colony::check {
+
+struct Violation {
+  std::string invariant;
+  std::string detail;
+};
+
+class Report {
+ public:
+  void add(std::string invariant, std::string detail) {
+    violations_.push_back({std::move(invariant), std::move(detail)});
+  }
+
+  [[nodiscard]] bool ok() const { return violations_.empty(); }
+  [[nodiscard]] const std::vector<Violation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Violation> violations_;
+};
+
+/// Strong convergence (quiescent cluster only): all DCs agree byte-for-byte
+/// on every object either of them stores, every edge cache agrees with the
+/// DCs on the objects it holds, and all DC state vectors are equal.
+void check_convergence(const Cluster& cluster, Report& report);
+
+/// Causal order. At each DC, replay the visibility log against a running
+/// version vector: every transaction's effective snapshot must be covered
+/// by the commits that became visible before it (DCs start from the empty
+/// cut, so the audit is exact). At each edge — whose baseline shifts with
+/// checkout/fetch seeding — audit (a) per-origin dot counters appear in
+/// increasing order in the log, and (b) no pairwise inversion: a log entry
+/// never causally depends on a later entry.
+void check_causal_order(const Cluster& cluster, Report& report);
+
+/// Atomic visibility at each DC (which materialises every key): an applied,
+/// unmasked transaction's dot must be reflected in the journal of every key
+/// it updated — all-or-nothing, never a partial application.
+void check_atomic_visibility(const Cluster& cluster, Report& report);
+
+/// K-stability (callable mid-run, partitions standing): any transaction
+/// visible at a client-cache edge that the edge did not originate must be
+/// K-stable under the DCs' *current, ground-truth* state vectors. Sound
+/// because state vectors only grow. Peer-group edges are exempt (groups
+/// propagate member commits below the stability threshold by design).
+void check_k_stability(const Cluster& cluster, Report& report);
+
+/// Exactly-once application (callable mid-run): no replica's journal
+/// reflects the same dot twice — the DotTracker contract under duplicated
+/// delivery.
+void check_exactly_once(const Cluster& cluster, Report& report);
+
+/// End-to-end counter ledger (quiescent cluster only): each PN-counter in
+/// `expected` must have converged to exactly the total the workload
+/// committed — a lost increment (dropped txn) or an extra one (double
+/// apply) both surface here.
+void check_counter_totals(const Cluster& cluster,
+                          const std::map<ObjectKey, std::int64_t>& expected,
+                          Report& report);
+
+/// Convenience: every mid-run-safe checker (causal order, K-stability,
+/// exactly-once).
+void check_safety(const Cluster& cluster, Report& report);
+
+/// Convenience: the full quiescent audit — safety plus convergence, atomic
+/// visibility, and the counter ledger.
+void check_quiescent(const Cluster& cluster,
+                     const std::map<ObjectKey, std::int64_t>& expected,
+                     Report& report);
+
+}  // namespace colony::check

@@ -105,4 +105,48 @@ void Cluster::set_peer_links(NodeId node, const std::vector<NodeId>& peers,
   }
 }
 
+std::vector<NodeId> Cluster::dc_node_ids() const {
+  std::vector<NodeId> ids;
+  ids.reserve(config_.num_dcs);
+  for (DcId d = 0; d < config_.num_dcs; ++d) ids.push_back(dc_node_id(d));
+  return ids;
+}
+
+std::vector<NodeId> Cluster::edge_node_ids() const {
+  std::vector<NodeId> ids;
+  ids.reserve(edges_.size());
+  for (const auto& e : edges_) ids.push_back(e->id());
+  return ids;
+}
+
+bool Cluster::idle() const {
+  const VersionVector& reference = dcs_.front()->state_vector();
+  for (const auto& dc : dcs_) {
+    if (!(dc->state_vector() == reference)) return false;
+    if (dc->engine().pending_count() != 0) return false;
+  }
+  for (const auto& edge : edges_) {
+    if (edge->unacked_count() != 0) return false;
+    if (edge->engine().pending_count() != 0) return false;
+  }
+  return true;
+}
+
+bool Cluster::quiesce(SimTime max_wait, SimTime poll) {
+  const SimTime deadline = sched_.now() + max_wait;
+  bool was_idle = false;
+  while (sched_.now() < deadline) {
+    run_for(poll);
+    if (idle()) {
+      // Idle twice in a row: anything in flight at the first poll (a last
+      // session push, a commit acknowledgement) has landed by the second.
+      if (was_idle) return true;
+      was_idle = true;
+    } else {
+      was_idle = false;
+    }
+  }
+  return false;
+}
+
 }  // namespace colony

@@ -60,9 +60,18 @@ class Cluster {
 
   [[nodiscard]] std::size_t num_dcs() const { return config_.num_dcs; }
   DcNode& dc(DcId id) { return *dcs_.at(id); }
+  [[nodiscard]] const DcNode& dc(DcId id) const { return *dcs_.at(id); }
   [[nodiscard]] NodeId dc_node_id(DcId id) const;
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+  EdgeNode& edge(std::size_t i) { return *edges_.at(i); }
+  [[nodiscard]] const EdgeNode& edge(std::size_t i) const {
+    return *edges_.at(i);
+  }
+  [[nodiscard]] std::vector<NodeId> dc_node_ids() const;
+  [[nodiscard]] std::vector<NodeId> edge_node_ids() const;
   sim::Scheduler& scheduler() { return sched_; }
   sim::Network& network() { return net_; }
+  [[nodiscard]] const sim::Network& network() const { return net_; }
   [[nodiscard]] const ClusterConfig& config() const { return config_; }
 
   // --- execution -------------------------------------------------------------
@@ -77,6 +86,20 @@ class Cluster {
   void set_uplink(NodeId node, DcId dc, bool up);
   /// Cut / restore the links between a node and a set of peers.
   void set_peer_links(NodeId node, const std::vector<NodeId>& peers, bool up);
+
+  // --- quiescence (chaos harness audit points) -------------------------------
+
+  /// Restore every link and node after arbitrary fault injection.
+  void heal_all() { net_.heal(); }
+
+  /// Structurally idle: all DC state vectors agree, no visibility engine
+  /// has pending transactions, and no edge holds unacknowledged commits.
+  [[nodiscard]] bool idle() const;
+
+  /// Run in `poll`-sized steps until idle() holds at two consecutive polls
+  /// (in-flight pushes land in between) or `max_wait` elapses. Returns
+  /// whether the cluster reached quiescence — a liveness check in itself.
+  bool quiesce(SimTime max_wait, SimTime poll = 500 * kMillisecond);
 
  private:
   ClusterConfig config_;

@@ -34,9 +34,35 @@ bool masked_dependency(const Transaction& txn, const Transaction& m) {
 bool VisibilityEngine::ingest(Transaction txn) {
   const Dot dot = txn.meta.dot;
   const bool fresh = txns_.add(std::move(txn));
-  if (fresh) pending_.push_back(dot);
+  if (fresh) {
+    pending_.push_back(dot);
+  } else if (applied_.contains(dot)) {
+    // A duplicate copy can carry commit slots learned only after we applied
+    // the transaction (equivalent timestamps after a migration, section
+    // 3.8); fold them in so those sequence components keep advancing.
+    advance_state(txns_.find(dot)->meta);
+  }
   drain();
   return fresh;
+}
+
+void VisibilityEngine::advance_state(const TxnMeta& meta) {
+  if (!sequential_) {
+    state_.merge(meta.commit_lub());
+    return;
+  }
+  // Contiguous semantics: record the transaction's own commit slot(s) and
+  // only advance each component over its gap-free applied prefix. The
+  // snapshot part is safe to merge outright — it gated the apply (it was
+  // covered by state_ already) or arrived with a resolution, in which case
+  // it is some other replica's (prefix-sound) vector.
+  state_.merge(meta.snapshot);
+  for (DcId dc = 0; dc < 32; ++dc) {
+    if (!meta.accepted_by(dc)) continue;
+    applied_slots_.record(Dot{dc, meta.commit.at(dc)});
+    const Timestamp prefix = applied_slots_.prefix(dc);
+    if (prefix > state_.at(dc)) state_.set(dc, prefix);
+  }
 }
 
 void VisibilityEngine::resolve(const Dot& dot, DcId dc, Timestamp ts) {
@@ -45,7 +71,7 @@ void VisibilityEngine::resolve(const Dot& dot, DcId dc, Timestamp ts) {
   if (applied_.contains(dot)) {
     // Already visible locally (read-my-writes fast path): the state vector
     // may now advance past its concrete commit point.
-    state_.merge(txns_.find(dot)->meta.commit_lub());
+    advance_state(txns_.find(dot)->meta);
   }
   drain();
 }
@@ -58,7 +84,7 @@ void VisibilityEngine::resolve_full(const Dot& dot, DcId dc, Timestamp ts,
   txn->meta.pending_deps.clear();
   txn->meta.mark_accepted(dc, ts);
   if (applied_.contains(dot)) {
-    state_.merge(txn->meta.commit_lub());
+    advance_state(txn->meta);
   }
   drain();
 }
@@ -92,6 +118,17 @@ bool VisibilityEngine::try_apply(const Dot& dot) {
   if (!txns_.effective_snapshot(dot, eff)) return false;
   if (!eff.leq(state_)) return false;
 
+  // Order within a ready batch: a seeded cut can make several pending
+  // transactions applicable at once, and the pending buffer holds them in
+  // arrival order — which, across two session channels or after a loss
+  // repair, may invert causality. Defer this transaction while a causal
+  // predecessor is still pending; drain() re-passes until no progress, so
+  // this only reorders, never starves (causality is acyclic).
+  for (const Dot& other : pending_) {
+    if (other == dot) continue;
+    if (txns_.visible_at(other, eff)) return false;
+  }
+
   bool masked =
       security_check_ != nullptr && !security_check_(*txn);
   if (!masked) {
@@ -112,7 +149,7 @@ bool VisibilityEngine::try_apply(const Dot& dot) {
   applied_.insert(dot);
   if (masked) masked_.insert(dot);
   log_.append(dot);
-  state_.merge(txn->meta.commit_lub());
+  advance_state(txn->meta);
   if (visible_hook_ != nullptr && !masked) visible_hook_(*txn);
   return true;
 }
@@ -142,7 +179,7 @@ void VisibilityEngine::apply_local(const Dot& dot) {
   applied_.insert(dot);
   if (masked) masked_.insert(dot);
   log_.append(dot);
-  if (txn->meta.concrete) state_.merge(txn->meta.commit_lub());
+  if (txn->meta.concrete) advance_state(txn->meta);
   if (visible_hook_ != nullptr && !masked) visible_hook_(*txn);
 }
 

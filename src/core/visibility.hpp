@@ -17,6 +17,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "clock/dot_tracker.hpp"
 #include "core/txn.hpp"
 #include "core/txn_log.hpp"
 #include "storage/journal_store.hpp"
@@ -76,6 +77,10 @@ class VisibilityEngine {
     return masked_.contains(dot);
   }
   [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+  /// Every applied dot (invariant checkers audit this against the log).
+  [[nodiscard]] const std::unordered_set<Dot>& applied_set() const {
+    return applied_;
+  }
 
   void set_security_check(SecurityCheck check) {
     security_check_ = std::move(check);
@@ -89,8 +94,34 @@ class VisibilityEngine {
   void set_visible_hook(VisibleHook hook) { visible_hook_ = std::move(hook); }
   void set_key_filter(KeyFilter filter) { key_filter_ = std::move(filter); }
 
-  /// Seed the state vector (e.g. from an initial checkout).
-  void seed_state(const VersionVector& v) { state_.merge(v); }
+  /// Seed the state vector (e.g. from an initial checkout). Callers must
+  /// guarantee the premise a seed asserts: every transaction below `v` is
+  /// materialised here — via imported snapshots or delivered pushes.
+  void seed_state(const VersionVector& v) {
+    state_.merge(v);
+    seeded_cut_.merge(v);
+  }
+
+  /// Least upper bound of every cut ever seeded: the provable "I possess
+  /// everything below this" baseline. The state vector itself can run
+  /// ahead of possession — resolving an own commit merges the DC-resolved
+  /// snapshot (read-my-writes), which may cover foreign transactions this
+  /// replica never received — so migration hand-off must use this cut,
+  /// not the state vector, to decide what the new DC needs to backfill.
+  [[nodiscard]] const VersionVector& seeded_cut() const {
+    return seeded_cut_;
+  }
+
+  /// DC replicas apply every transaction of every commit sequence, so each
+  /// state-vector component must advance *contiguously*: state_[d] = ts
+  /// asserts that all of d's slots through ts are applied here, which is
+  /// what the snapshot gate and the gossip anti-entropy read off it.
+  /// Merging a transaction's own commit slot directly (the default) would
+  /// silently skip over a crash-induced replication gap — a later
+  /// transaction of the same origin could become visible before its
+  /// predecessor. Edge caches must NOT enable this: they skip transactions
+  /// outside their interest cut and advance via seeded K-stable cuts.
+  void set_sequential_components(bool on) { sequential_ = on; }
 
   /// Re-evaluate the security mask over the whole history (after an ACL
   /// change) and rebuild affected objects' current values. Returns the
@@ -112,10 +143,18 @@ class VisibilityEngine {
  private:
   bool try_apply(const Dot& dot);
   void apply_ops(const Transaction& txn, bool masked);
+  /// Advance state_ with an applied transaction's commit knowledge —
+  /// contiguously per component when sequential_ is set.
+  void advance_state(const TxnMeta& meta);
 
   TxnStore& txns_;
   JournalStore& store_;
   VersionVector state_;
+  VersionVector seeded_cut_;
+  bool sequential_ = false;
+  /// Per-DC applied commit slots (origin = DcId): contiguous prefix plus
+  /// out-of-order slots, used only in sequential mode.
+  DotTracker applied_slots_;
   VisibilityLog log_;
   std::unordered_set<Dot> applied_;
   std::unordered_set<Dot> masked_;

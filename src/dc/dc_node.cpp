@@ -25,6 +25,9 @@ DcNode::DcNode(sim::Network& net, NodeId id, DcConfig config,
   COLONY_ASSERT(!shard_nodes_.empty(), "a DC needs at least one shard");
   for (std::uint32_t s = 0; s < shard_nodes_.size(); ++s) ring_.add_shard(s);
 
+  // A DC applies the full commit stream of every peer, so its state-vector
+  // components advance contiguously (see VisibilityEngine).
+  engine_.set_sequential_components(true);
   engine_.set_visible_hook(
       [this](const Transaction& txn) { on_txn_visible(txn); });
   engine_.set_security_check([this](const Transaction& txn) {
@@ -103,6 +106,17 @@ void DcNode::fan_out_to_shards(const Transaction& txn) {
 
 void DcNode::recompute_k_cut() {
   k_cut_ = k_stable_cut(dc_states_, config_.k_stability);
+  // Cap the cut by what this DC has itself applied: gossip can prove a
+  // transaction K-replicated *elsewhere* while a partition still keeps it
+  // from us. Announcing such a cut to a session would claim coverage of
+  // values this DC never delivered — a subscriber would seed its state
+  // past them and show their successors first. Our state components
+  // advance contiguously (sequential mode), so a component-wise min is a
+  // sound causal cut.
+  const VersionVector& mine = engine_.state_vector();
+  for (DcId dc = 0; dc < k_cut_.size(); ++dc) {
+    k_cut_.set(dc, std::min(k_cut_.at(dc), mine.at(dc)));
+  }
 }
 
 JournalStore::DotPredicate DcNode::k_stable_predicate() const {
@@ -129,6 +143,18 @@ void DcNode::gossip_tick() {
          proto::DcGossip{config_.dc_id, engine_.state_vector()});
   }
   recompute_k_cut();
+  for (auto& [node, session] : sessions_) {
+    // An outstanding push whose ack makes no progress for several ticks
+    // means it (or its ack) was dropped in a crash window the liveness
+    // poll never observed — the receiver withholds acks on a gap: resync.
+    if (!session.outstanding.empty() &&
+        session.acked_seq == session.acked_seq_last_tick) {
+      if (++session.stall_ticks >= 5) resync_session(session);
+    } else {
+      session.stall_ticks = 0;
+    }
+    session.acked_seq_last_tick = session.acked_seq;
+  }
   push_sessions();
 
   if (++gossip_count_ % config_.base_advance_every == 0) {
@@ -172,10 +198,22 @@ void DcNode::push_sessions() {
 }
 
 void DcNode::push_session(NodeId node, EdgeSession& session) {
-  // A down uplink would silently swallow pushes while the cursor advances,
-  // leaving the session permanently stale; pause instead (TCP-like: the
-  // sender knows the connection is gone) and resume on the next tick.
-  if (!net_.link_up(id(), node)) return;
+  // A down uplink — or a crashed endpoint — would silently swallow pushes
+  // while the cursor advances, leaving the session permanently stale; pause
+  // instead (TCP-like: the sender knows the connection is gone) and resume
+  // on the next tick.
+  if (!net_.link_up(id(), node) || !net_.node_up(node) ||
+      !net_.node_up(id())) {
+    session.connected = false;
+    return;
+  }
+  if (!session.connected) {
+    // The connection is back. Anything in flight when it broke was lost
+    // after the cursor had already advanced past it — resync from the last
+    // acknowledged position.
+    session.connected = true;
+    resync_session(session);
+  }
   const auto& log = engine_.log().entries();
   // Push the K-stable prefix of the visibility log that intersects the
   // session's interest set, in log (causal) order.
@@ -192,7 +230,10 @@ void DcNode::push_session(NodeId node, EdgeSession& session) {
                                op.key == security::acl_object_key();
                       });
       if (interesting) {
-        tell(node, proto::kPushTxn, proto::PushTxn{*txn});
+        proto::PushTxn push{*txn};
+        push.session_seq = ++session.seq;
+        session.outstanding.emplace_back(session.seq, session.cursor + 1);
+        tell(node, proto::kPushTxn, std::move(push));
         // Pushes consume DC CPU; they delay later request processing.
         busy_until_ = std::max(busy_until_, net_.now()) +
                       config_.push_service_time;
@@ -200,10 +241,49 @@ void DcNode::push_session(NodeId node, EdgeSession& session) {
     }
     ++session.cursor;
   }
-  if (!(k_cut_ == session.last_cut_sent)) {
-    session.last_cut_sent = k_cut_;
-    tell(node, proto::kStateUpdate, proto::StateUpdate{k_cut_});
+  const VersionVector cut = session_cut(session);
+  if (!(cut == session.last_cut_sent)) {
+    session.last_cut_sent = cut;
+    tell(node, proto::kStateUpdate, proto::StateUpdate{cut, session.seq});
   }
+}
+
+VersionVector DcNode::session_cut(const EdgeSession& session) const {
+  // A cut announced over a session asserts "everything interesting below
+  // this has been delivered to you (or sits in the snapshots you were
+  // given)". k_cut_ alone does not satisfy that premise: the push loop
+  // stops at the first non-K-stable *log* entry, while later log entries
+  // can already be K-stable (commit order differs from apply order across
+  // sequencers) and hence inside k_cut_ — yet they were never pushed.
+  // Cap each component so no log entry at or beyond the cursor is covered;
+  // the subscriber would otherwise seed past values only a second channel
+  // (after a migration) could show it first.
+  VersionVector cut = k_cut_;
+  const auto& log = engine_.log().entries();
+  for (std::size_t i = session.cursor; i < log.size(); ++i) {
+    const Transaction* txn = txns_.find(log[i]);
+    if (txn == nullptr) continue;
+    for (DcId dc = 0; dc < cut.size(); ++dc) {
+      if (!txn->meta.accepted_by(dc)) continue;
+      const Timestamp ts = txn->meta.commit.at(dc);
+      if (ts != 0 && ts <= cut.at(dc)) cut.set(dc, ts - 1);
+    }
+  }
+  return cut;
+}
+
+void DcNode::resync_session(EdgeSession& session) {
+  session.cursor = std::min(session.cursor, session.acked);
+  // Go-Back-N: restart the sequence stream at the acknowledged prefix so
+  // re-pushed entries are contiguous with what the subscriber last
+  // confirmed. Its dot filter drops anything it already had.
+  session.seq = session.acked_seq;
+  session.outstanding.clear();
+  session.stall_ticks = 0;
+  // Clear the cut memo so the next push round re-announces the K-stable
+  // cut: a kStateUpdate lost with the connection would otherwise only be
+  // repaired by the *next* cut advance, which may never come.
+  session.last_cut_sent = VersionVector{};
 }
 
 // ---------------------------------------------------------------------------
@@ -386,16 +466,17 @@ void DcNode::handle_subscribe(NodeId from, const proto::SubscribeReq& req,
       ++boundary;
     }
     session.cursor = boundary;
+    session.acked = boundary;
   }
   proto::SubscribeResp resp;
-  resp.cut = k_cut_;
+  resp.cut = session_cut(session);
   for (const ObjectKey& key : req.keys) {
     session.interest.insert(key);
     if (auto snap = export_k_stable(key)) {
       resp.snapshots.push_back(std::move(*snap));
     }
   }
-  session.last_cut_sent = k_cut_;
+  session.last_cut_sent = resp.cut;
   reply(std::any{resp});
 }
 
@@ -413,6 +494,7 @@ void DcNode::handle_fetch(NodeId from, const proto::FetchReq& req,
         ++boundary;
       }
       session.cursor = boundary;
+      session.acked = boundary;
     }
   }
   auto snap = export_k_stable(req.key);
@@ -420,13 +502,20 @@ void DcNode::handle_fetch(NodeId from, const proto::FetchReq& req,
     reply(Error{Error::Code::kNotFound, "object unknown: " + req.key.full()});
     return;
   }
-  reply(std::any{proto::FetchResp{std::move(*snap), k_cut_}});
+  // Cap by the session channel like push_session does; a fetch without a
+  // session (req.subscribe == false) gets the uncapped cut only merged
+  // into the snapshot import of this single key, which the snapshot
+  // itself backs.
+  const auto sit = sessions_.find(from);
+  const VersionVector cut =
+      sit == sessions_.end() ? k_cut_ : session_cut(sit->second);
+  reply(std::any{proto::FetchResp{std::move(*snap), cut}});
 }
 
 void DcNode::handle_migrate(NodeId from, const proto::MigrateReq& req,
                             ReplyFn reply) {
   proto::MigrateResp resp;
-  resp.cut = k_cut_;
+  resp.cut = k_cut_;  // informational; the edge seeds only session cuts
   // Causal compatibility (section 3.8): this DC's state must include the
   // edge node's dependencies.
   if (!req.state.leq(engine_.state_vector())) {
@@ -438,15 +527,24 @@ void DcNode::handle_migrate(NodeId from, const proto::MigrateReq& req,
   session.user = req.user;
   session.interest.insert(req.interest.begin(), req.interest.end());
   if (session.cursor == 0) {
+    // Unlike a fresh subscription (which starts at the K-stable boundary
+    // because the snapshots in the reply carry the history), a migrated
+    // session must backfill from the first log entry the edge does not
+    // provably possess: entries between that point and our boundary may
+    // only ever arrive over this channel — the old DC can be partitioned,
+    // crashed, or simply behind. The scan uses the edge's possessed cut,
+    // not its state vector (which read-my-writes resolution inflates past
+    // possession). Entries the edge did get over its old channel are
+    // dropped by its dot filter.
     const auto& log = engine_.log().entries();
     std::size_t boundary = 0;
     while (boundary < log.size() &&
-           txns_.visible_at(log[boundary], k_cut_)) {
+           txns_.visible_at(log[boundary], req.possessed)) {
       ++boundary;
     }
     session.cursor = boundary;
+    session.acked = boundary;
   }
-  session.last_cut_sent = k_cut_;
   resp.compatible = true;
   reply(std::any{resp});
 }
@@ -475,6 +573,21 @@ void DcNode::on_message(NodeId from, std::uint32_t kind,
     case proto::kDcGossip:
       handle_gossip(from, std::any_cast<const proto::DcGossip&>(body));
       break;
+    case proto::kPushAck: {
+      const auto& msg = std::any_cast<const proto::PushAck&>(body);
+      const auto it = sessions_.find(from);
+      if (it != sessions_.end()) {
+        EdgeSession& session = it->second;
+        session.acked_seq = std::max(session.acked_seq, msg.seq);
+        while (!session.outstanding.empty() &&
+               session.outstanding.front().first <= msg.seq) {
+          session.acked =
+              std::max(session.acked, session.outstanding.front().second);
+          session.outstanding.pop_front();
+        }
+      }
+      break;
+    }
     case proto::kUnsubscribe: {
       const auto& msg = std::any_cast<const proto::UnsubscribeMsg&>(body);
       const auto it = sessions_.find(from);

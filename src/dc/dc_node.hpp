@@ -10,6 +10,7 @@
 // commit acknowledgement, fetch, and migration.
 #pragma once
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -88,6 +89,20 @@ class DcNode final : public sim::RpcActor {
     std::set<ObjectKey> interest;
     std::size_t cursor = 0;        // position in the DC visibility log
     VersionVector last_cut_sent;
+    // Sender half of the acknowledged session channel (Go-Back-N): the
+    // cursor above advances optimistically when a push is handed to the
+    // network; the subscriber acks its contiguous receive prefix, and a
+    // broken connection or an ack stall rewinds cursor and seq to the
+    // acknowledged point. Dense sequence numbers (not log indices) let the
+    // receiver tell a lost push from a merely-uninteresting log entry.
+    std::uint64_t seq = 0;        // last session_seq handed to the network
+    std::uint64_t acked_seq = 0;  // highest cumulative ack received
+    std::size_t acked = 0;        // log position confirmed by those acks
+    std::deque<std::pair<std::uint64_t, std::size_t>>
+        outstanding;  // (seq, log index+1) of unacked pushes, seq order
+    std::uint64_t acked_seq_last_tick = 0;  // stall-detection marker
+    std::size_t stall_ticks = 0;
+    bool connected = true;
   };
 
   // Handlers.
@@ -109,6 +124,14 @@ class DcNode final : public sim::RpcActor {
   void recompute_k_cut();
   void push_sessions();
   void push_session(NodeId node, EdgeSession& session);
+  /// The cut this session may be told it covers: k_cut_ capped so that no
+  /// log entry at or beyond the session cursor is inside it.
+  [[nodiscard]] VersionVector session_cut(const EdgeSession& session) const;
+  /// Rewind a session to its last acknowledged log position and force a
+  /// fresh kStateUpdate: called when a broken connection (or a detected ack
+  /// stall) may have dropped in-flight pushes. Replayed transactions are
+  /// filtered by dot at the subscriber, so over-sending is safe.
+  void resync_session(EdgeSession& session);
   void gossip_tick();
   [[nodiscard]] JournalStore::DotPredicate k_stable_predicate() const;
   [[nodiscard]] std::optional<ObjectSnapshot> export_k_stable(

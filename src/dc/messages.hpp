@@ -27,6 +27,7 @@ enum Kind : std::uint32_t {
   kMigrate = 15,      // RPC  MigrateReq    -> MigrateResp
   kDcExecute = 16,    // RPC  DcExecuteReq  -> DcExecuteResp (cloud mode)
   kOpenSession = 17,  // RPC  OpenSessionReq -> OpenSessionResp (keys)
+  kPushAck = 18,      // 1way PushAck (edge -> DC, cumulative session ack)
 
   // DC <-> DC geo-replication.
   kReplicateTxn = 20,  // 1way Transaction in commit order
@@ -84,15 +85,59 @@ struct FetchResp {
 
 struct PushTxn {
   Transaction txn;
+  /// Dense per-session sequence number when pushed over an acknowledged DC
+  /// session channel; 0 on unacked channels (peer-group parents). The
+  /// subscriber acks its contiguous receive prefix so the DC can detect
+  /// pushes lost to a crash or connection break and rewind (Go-Back-N).
+  std::uint64_t session_seq = 0;
 };
 struct StateUpdate {
   VersionVector cut;
+  /// The sender's session_seq at the time the cut was computed: the cut
+  /// asserts that everything below it was delivered (or is uninteresting),
+  /// which is only true once the subscriber has received every session
+  /// push up to this watermark. A subscriber must NOT seed its state from
+  /// a cut whose watermark exceeds its contiguous receive prefix — doing
+  /// so would let successors of a lost push become visible first.
+  std::uint64_t seq_watermark = 0;
+};
+/// Cumulative acknowledgement of session pushes: all pushes with
+/// session_seq <= seq have been received (links are FIFO).
+struct PushAck {
+  std::uint64_t seq = 0;
+};
+
+/// Receiver half of the acknowledged session channel. Crash windows can
+/// drop a message yet deliver a later one on the same FIFO link (delivery-
+/// time liveness), so receipt of seq N does not imply receipt of N-1; the
+/// receiver acks only its contiguous prefix and withholds acks on a gap,
+/// which makes the sender's cumulative-ack bookkeeping truthful and
+/// eventually triggers its stall-detection rewind.
+struct PushChannelRecv {
+  std::uint64_t last_seq = 0;  // contiguous receive prefix
+
+  /// Returns the seq to acknowledge, or 0 to withhold (gap detected or
+  /// unacked channel).
+  std::uint64_t on_push(std::uint64_t seq) {
+    if (seq == 0) return 0;  // unacked channel (peer-group parent)
+    if (seq == last_seq + 1) return ++last_seq;
+    if (seq <= last_seq) return last_seq;  // duplicate: re-ack the prefix
+    return 0;  // gap: withhold; the sender stalls and rewinds
+  }
+  [[nodiscard]] bool covers(std::uint64_t watermark) const {
+    return watermark <= last_seq;
+  }
 };
 
 struct MigrateReq {
-  VersionVector state;  // edge's state vector
+  VersionVector state;  // edge's state vector (causal-compatibility check)
   std::vector<ObjectKey> interest;
   UserId user = 0;
+  /// Everything below this cut is materialised at the edge (its seeded-cut
+  /// baseline). The state vector above can exceed possession — resolving
+  /// an own commit merges a DC snapshot covering foreign transactions the
+  /// edge never received — so the new DC backfills from here instead.
+  VersionVector possessed;
 };
 struct MigrateResp {
   bool compatible = false;

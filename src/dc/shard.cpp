@@ -51,7 +51,9 @@ void ShardServer::on_message(NodeId /*from*/, std::uint32_t kind,
   switch (kind) {
     case proto::kShardApply: {
       const auto& msg = std::any_cast<const proto::ShardApplyMsg&>(body);
-      apply_ops(msg.ops);
+      // At-least-once delivery: a duplicated apply still advances the seq
+      // watermark but must not replay its operations.
+      if (seen_.record(msg.dot)) apply_ops(msg.ops);
       applied_seq_ = std::max(applied_seq_, msg.seq);
       serve_ready_reads();
       break;

@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "clock/dot_tracker.hpp"
 #include "crdt/crdt.hpp"
 #include "dc/messages.hpp"
 #include "sim/rpc.hpp"
@@ -29,6 +30,11 @@ class ShardServer final : public sim::RpcActor {
 
   [[nodiscard]] Timestamp applied_seq() const { return applied_seq_; }
   [[nodiscard]] std::size_t object_count() const { return data_.size(); }
+  /// Inspection: the materialised object, or nullptr if not owned here.
+  [[nodiscard]] const Crdt* object(const ObjectKey& key) const {
+    const auto it = data_.find(key);
+    return it == data_.end() ? nullptr : it->second.second.get();
+  }
 
  protected:
   void on_message(NodeId from, std::uint32_t kind,
@@ -51,6 +57,9 @@ class ShardServer final : public sim::RpcActor {
   std::map<std::uint64_t, std::vector<OpRecord>> prepared_;  // 2PC buffers
   std::vector<PendingRead> waiting_reads_;
   Timestamp applied_seq_ = 0;
+  /// Duplicate filter for at-least-once kShardApply delivery: a re-sent
+  /// (or chaos-duplicated) apply must not replay its operations.
+  DotTracker seen_;
 };
 
 }  // namespace colony

@@ -105,7 +105,9 @@ void EdgeNode::migrate_transaction(std::vector<ObjectKey> reads,
 }
 
 Arb EdgeNode::make_arb() {
-  return Arb{hlc_.tick(net_.now()), fresh_dot()};
+  // local_now (not now) so injected clock skew flows into arbitration
+  // timestamps — the HLC absorbs it, which is exactly what chaos verifies.
+  return Arb{hlc_.tick(net_.local_now(id())), fresh_dot()};
 }
 
 std::unique_ptr<Crdt> EdgeNode::read_at(const ObjectKey& key,
@@ -468,7 +470,7 @@ void EdgeNode::migrate_to_dc(NodeId new_dc, DoneCb done) {
   config_.dc = new_dc;
   call(new_dc, proto::kMigrate,
        proto::MigrateReq{engine_.state_vector(), interest_.keys(),
-                         config_.user},
+                         config_.user, engine_.seeded_cut()},
        [this, done = std::move(done)](Result<std::any> r) {
          if (!r.ok()) {
            done(r.error());
@@ -483,8 +485,12 @@ void EdgeNode::migrate_to_dc(NodeId new_dc, DoneCb done) {
                       "new DC lacks causal dependencies"});
            return;
          }
-         engine_.seed_state(resp.cut);
-         engine_.drain();
+         // Do NOT seed resp.cut here: the cut can cover transactions
+         // still in flight (or lost) on the old DC's channel, and seeding
+         // past them would let their successors become visible first. The
+         // new DC backfills everything between our state and its cut over
+         // the session channel and then announces the cut with a receive
+         // watermark — the safe seeding point.
          // Re-send unacknowledged transactions; the dot filter at the DCs
          // drops duplicates.
          pump_commits();
@@ -665,12 +671,23 @@ void EdgeNode::on_message(NodeId from, std::uint32_t kind,
   switch (kind) {
     case proto::kPushTxn: {
       const auto& msg = std::any_cast<const proto::PushTxn&>(body);
+      if (const std::uint64_t ack = push_recv_[from].on_push(msg.session_seq);
+          ack != 0) {
+        tell(from, proto::kPushAck, proto::PushAck{ack});
+      }
       engine_.ingest(msg.txn);
       drain_group_queue();
       break;
     }
     case proto::kStateUpdate: {
       const auto& msg = std::any_cast<const proto::StateUpdate&>(body);
+      if (!push_recv_[from].covers(msg.seq_watermark)) {
+        // The cut assumes session pushes we have not received (they were
+        // lost in a crash window); seeding it would make successors of the
+        // lost push visible first. The DC's stall detection rewinds the
+        // channel and re-announces the cut.
+        break;
+      }
       engine_.seed_state(msg.cut);
       engine_.drain();
       drain_group_queue();

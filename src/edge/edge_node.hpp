@@ -19,6 +19,7 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -196,6 +197,7 @@ class EdgeNode final : public sim::RpcActor {
   [[nodiscard]] std::size_t unacked_count() const { return unacked_.size(); }
   [[nodiscard]] const VisibilityEngine& engine() const { return engine_; }
   [[nodiscard]] const JournalStore& store() const { return store_; }
+  [[nodiscard]] const TxnStore& txns() const { return txns_; }
   [[nodiscard]] NodeId connected_dc() const { return config_.dc; }
   [[nodiscard]] std::uint64_t commits_issued() const { return commits_; }
 
@@ -264,6 +266,10 @@ class EdgeNode final : public sim::RpcActor {
   VisibilityEngine engine_;
   InterestSet interest_;
   HybridLogicalClock hlc_;
+
+  /// Per-sender receive state of the acknowledged DC session channel:
+  /// contiguous push prefix, acked back so the DC can detect losses.
+  std::map<NodeId, proto::PushChannelRecv> push_recv_;
 
   std::uint64_t dot_counter_ = 0;
   std::uint64_t txn_counter_ = 0;

@@ -268,7 +268,8 @@ void PeerGroupParent::migrate_to_dc(NodeId new_dc, DoneCb done) {
   config_.dc = new_dc;
   std::vector<ObjectKey> interest(dc_interest_.begin(), dc_interest_.end());
   call(new_dc, proto::kMigrate,
-       proto::MigrateReq{engine_.state_vector(), std::move(interest), 0},
+       proto::MigrateReq{engine_.state_vector(), std::move(interest), 0,
+                         engine_.seeded_cut()},
        [this, old_dc, done = std::move(done)](Result<std::any> r) {
          if (!r.ok()) {
            config_.dc = old_dc;
@@ -391,6 +392,10 @@ void PeerGroupParent::on_message(NodeId from, std::uint32_t kind,
     }
     case proto::kPushTxn: {
       const auto& msg = std::any_cast<const proto::PushTxn&>(body);
+      if (const std::uint64_t ack = dc_recv_.on_push(msg.session_seq);
+          ack != 0) {
+        tell(from, proto::kPushAck, proto::PushAck{ack});
+      }
       engine_.ingest(msg.txn);
       drain_apply_queue();
       relay_push(msg.txn);
@@ -398,11 +403,15 @@ void PeerGroupParent::on_message(NodeId from, std::uint32_t kind,
     }
     case proto::kStateUpdate: {
       const auto& msg = std::any_cast<const proto::StateUpdate&>(body);
+      if (!dc_recv_.covers(msg.seq_watermark)) break;  // lost-push window
       engine_.seed_state(msg.cut);
       engine_.drain();
       drain_apply_queue();
       for (const NodeId m : members_) {
-        tell(m, proto::kStateUpdate, msg);
+        // Relay with a cleared watermark: the member's channel to the
+        // parent has its own (unacked) sequence space, and the parent has
+        // already verified coverage above.
+        tell(m, proto::kStateUpdate, proto::StateUpdate{msg.cut});
       }
       pump_forward();
       break;

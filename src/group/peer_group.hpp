@@ -107,6 +107,8 @@ class PeerGroupParent final : public sim::RpcActor {
   TxnStore txns_;
   JournalStore store_;
   VisibilityEngine engine_;
+  /// Receive state of the parent's acknowledged DC session channel.
+  proto::PushChannelRecv dc_recv_;
 
   std::unique_ptr<consensus::Epaxos> epaxos_;
   std::map<ObjectKey, std::uint64_t> seen_per_key_;

@@ -1,0 +1,153 @@
+// Deterministic chaos scheduling: reproducible fault timelines for the
+// simulated cluster.
+//
+// From a single 64-bit seed, ChaosSchedule::generate derives a timeline of
+// fault events — link partitions/heals, node crash/recover, message
+// duplication and reordering windows, clock skew, and edge migrations —
+// split into epochs that each end with a kHealAll barrier. The harness
+// driving the run interprets the barrier: heal the fabric, quiesce, and run
+// the invariant checkers, so every epoch ends with a full TCC+ audit.
+//
+// The same seed always yields the byte-for-byte identical schedule
+// (ChaosSchedule::to_string), which is what makes failures replayable: a
+// failing run prints its seed and its (shrunk) schedule, and re-running the
+// seed reproduces the exact interleaving.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "util/types.hpp"
+
+namespace colony::sim {
+
+enum class ChaosEventType : std::uint8_t {
+  kLinkDown = 0,     // a <-> b partitioned
+  kLinkUp = 1,       // a <-> b healed
+  kNodeCrash = 2,    // node a crashes (all traffic dropped)
+  kNodeRecover = 3,  // node a recovers
+  kDuplicateOn = 4,  // duplication window opens; arg = rate in ppm
+  kDuplicateOff = 5,
+  kReorderOn = 6,  // reorder window opens; arg = rate in ppm
+  kReorderOff = 7,
+  kClockSkew = 8,    // node a's clock skewed forward by arg microseconds
+  kMigrateEdge = 9,  // edge node a migrates to DC index arg
+  kHealAll = 10,     // epoch barrier: heal, quiesce, audit invariants
+};
+
+[[nodiscard]] const char* to_string(ChaosEventType t);
+
+struct ChaosEvent {
+  SimTime at = 0;
+  ChaosEventType type{};
+  NodeId a = 0;
+  NodeId b = 0;
+  std::uint64_t arg = 0;
+
+  [[nodiscard]] std::string to_string() const;
+  bool operator==(const ChaosEvent&) const = default;
+};
+
+/// The node universe a schedule is generated against. Only ids are needed;
+/// the generator never touches live objects.
+struct ChaosTopology {
+  std::vector<NodeId> dcs;    // DC node ids, indexed by DcId
+  std::vector<NodeId> edges;  // edge client node ids
+};
+
+struct ChaosConfig {
+  std::uint64_t seed = 1;
+
+  /// Epoch structure: faults are injected in the first `fault_fraction` of
+  /// each epoch; the rest is slack for in-flight outages to end before the
+  /// kHealAll barrier closes the epoch.
+  std::size_t epochs = 3;
+  SimTime epoch_length = 4 * kSecond;
+  double fault_fraction = 0.6;
+
+  /// Mean fault-injection rate inside the fault window.
+  double faults_per_second = 3.0;
+
+  /// Relative weights of the fault vocabulary (0 disables a class).
+  double w_partition = 4.0;  // link down/up: DC mesh or edge uplink
+  double w_crash = 2.0;      // node crash/recover: DC or edge
+  double w_duplicate = 2.0;  // message duplication window
+  double w_reorder = 2.0;    // message reordering window
+  double w_skew = 1.0;       // clock skew on an edge
+  double w_migrate = 1.0;    // edge migrates to another DC
+
+  /// Outage durations (partition, crash, injection windows).
+  SimTime min_outage = 200 * kMillisecond;
+  SimTime max_outage = 1500 * kMillisecond;
+
+  /// Ceilings for the randomized injection parameters.
+  std::uint64_t max_dup_ppm = 200'000;      // <= 20% duplication
+  std::uint64_t max_reorder_ppm = 200'000;  // <= 20% reordering
+  std::uint64_t max_skew_us = 2'000'000;    // <= 2 s clock skew
+};
+
+class ChaosSchedule {
+ public:
+  /// Deterministically derive the fault timeline from config + topology.
+  [[nodiscard]] static ChaosSchedule generate(const ChaosConfig& config,
+                                              const ChaosTopology& topo);
+
+  /// Events sorted by time (generation order breaks ties).
+  std::vector<ChaosEvent> events;
+  std::uint64_t seed = 0;
+
+  /// Times of the kHealAll barriers, in order (the harness drives the run
+  /// epoch by epoch up to each barrier).
+  [[nodiscard]] std::vector<SimTime> barriers() const;
+
+  /// Canonical dump: identical seeds yield identical strings, and a failing
+  /// run's printed schedule can be diffed against a replay's.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Greedy schedule shrinking (delta debugging): drop chunks of fault events
+/// of halving size while `still_fails` keeps reproducing the failure.
+/// kHealAll barriers are never dropped (they define the audit points). At
+/// most `max_trials` predicate evaluations are spent.
+[[nodiscard]] std::vector<ChaosEvent> shrink_schedule(
+    std::vector<ChaosEvent> events,
+    const std::function<bool(const std::vector<ChaosEvent>&)>& still_fails,
+    std::size_t max_trials = 256);
+
+/// Applies fault events to a Network. The sim layer cannot reach the edge
+/// runtime, so kMigrateEdge is delegated to a hook the harness wires up.
+class ChaosRunner {
+ public:
+  ChaosRunner(Network& net, std::vector<ChaosEvent> events)
+      : net_(net), events_(std::move(events)) {}
+
+  /// Schedule every fault event at its absolute time. kHealAll barriers are
+  /// not armed; the harness interprets them.
+  void arm();
+
+  /// Arm only the events with `origin <= at < until`, re-based so an event
+  /// at schedule time `at` fires at `now + (at - origin)`. The epoch-driven
+  /// harness uses this: quiescing past a barrier consumes real sim time, so
+  /// each epoch's faults are re-based onto the clock when the epoch starts.
+  void arm_window(SimTime origin, SimTime until);
+
+  /// Apply one event immediately.
+  void apply(const ChaosEvent& event);
+
+  /// Clear every standing injection: heal links/nodes, zero the duplicate
+  /// and reorder rates, remove clock skews. Called at each barrier.
+  void reset();
+
+  /// Invoked for kMigrateEdge events: (edge node id, target DC index).
+  std::function<void(NodeId, std::size_t)> migrate_hook;
+
+ private:
+  Network& net_;
+  std::vector<ChaosEvent> events_;
+  std::vector<NodeId> skewed_;  // nodes with a standing clock skew
+};
+
+}  // namespace colony::sim

@@ -46,6 +46,24 @@ void Network::set_node_up(NodeId node, bool up) {
 
 bool Network::node_up(NodeId node) const { return !down_nodes_.contains(node); }
 
+void Network::set_clock_skew(NodeId node, SimTime offset) {
+  if (offset == 0) {
+    clock_skew_.erase(node);
+  } else {
+    clock_skew_[node] = offset;
+  }
+}
+
+SimTime Network::local_now(NodeId node) const {
+  const auto it = clock_skew_.find(node);
+  return it == clock_skew_.end() ? sched_.now() : sched_.now() + it->second;
+}
+
+void Network::heal() {
+  for (auto& [_, link] : links_) link.up = true;
+  down_nodes_.clear();
+}
+
 Network::Link* Network::find_link(NodeId from, NodeId to) {
   const auto it = links_.find({from, to});
   return it == links_.end() ? nullptr : &it->second;
@@ -81,26 +99,45 @@ void Network::send(NodeId from, NodeId to, std::uint32_t kind,
     return;
   }
   SimTime deliver_at = sched_.now() + link->model.sample(rng_);
-  // FIFO per link: a later send is never delivered before an earlier one.
-  deliver_at = std::max(deliver_at, link->last_delivery);
-  link->last_delivery = deliver_at;
+  // FIFO per link: a later send is never delivered before an earlier one —
+  // unless reorder injection exempts this message, in which case it is held
+  // back without advancing the FIFO watermark so later sends overtake it.
+  if (reorder_rate_ > 0 &&
+      (!reorder_filter_ || reorder_filter_(from, to)) &&
+      rng_.chance(reorder_rate_)) {
+    ++reordered_;
+    deliver_at = std::max(deliver_at, link->last_delivery) +
+                 rng_.between(1, std::max<SimTime>(reorder_max_extra_, 1));
+  } else {
+    deliver_at = std::max(deliver_at, link->last_delivery);
+    link->last_delivery = deliver_at;
+  }
 
-  sched_.at(deliver_at,
-            [this, from, to, kind, body = std::move(body)]() mutable {
-              // Re-check liveness at delivery time: a node that crashed in
-              // flight does not receive the message.
-              if (!node_up(to)) {
-                ++dropped_;
-                return;
-              }
-              const auto it = actors_.find(to);
-              if (it == actors_.end()) {
-                ++dropped_;
-                return;
-              }
-              ++delivered_;
-              it->second->handle(from, kind, body);
-            });
+  if (duplicate_rate_ > 0 && rng_.chance(duplicate_rate_)) {
+    ++duplicated_;
+    const SimTime extra = rng_.between(1, 2 * link->model.mean);
+    deliver(from, to, kind, body, deliver_at + extra);
+  }
+  deliver(from, to, kind, std::move(body), deliver_at);
+}
+
+void Network::deliver(NodeId from, NodeId to, std::uint32_t kind,
+                      std::any body, SimTime when) {
+  sched_.at(when, [this, from, to, kind, body = std::move(body)]() mutable {
+    // Re-check liveness at delivery time: a node that crashed in flight
+    // does not receive the message.
+    if (!node_up(to)) {
+      ++dropped_;
+      return;
+    }
+    const auto it = actors_.find(to);
+    if (it == actors_.end()) {
+      ++dropped_;
+      return;
+    }
+    ++delivered_;
+    it->second->handle(from, kind, body);
+  });
 }
 
 }  // namespace colony::sim

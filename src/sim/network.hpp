@@ -10,6 +10,7 @@
 
 #include <any>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <unordered_map>
@@ -99,8 +100,44 @@ class Network {
   /// endpoint down, or the loss dice say so.
   void send(NodeId from, NodeId to, std::uint32_t kind, std::any body);
 
+  // --- fault injection (chaos testing) -----------------------------------
+
+  /// Independently per message, deliver a second copy after an extra
+  /// random delay. Models at-least-once transports / retransmit storms;
+  /// upper layers must filter by dot (DotTracker) or correlation id.
+  void set_duplicate_rate(double rate) { duplicate_rate_ = rate; }
+
+  /// Independently per message, exempt it from the per-link FIFO rule and
+  /// delay it by up to `max_extra`, letting later sends overtake it.
+  void set_reorder_rate(double rate, SimTime max_extra = 20 * kMillisecond) {
+    reorder_rate_ = rate;
+    reorder_max_extra_ = max_extra;
+  }
+
+  /// Restrict reorder injection to links the filter admits. Edge sessions
+  /// ride one FIFO channel (TCP/WebRTC) by the system's transport model,
+  /// while the inter-DC mesh (AMQP over WAN) may genuinely reorder — the
+  /// chaos harness admits only the mesh. nullptr admits every link.
+  using LinkFilter = std::function<bool(NodeId from, NodeId to)>;
+  void set_reorder_filter(LinkFilter filter) {
+    reorder_filter_ = std::move(filter);
+  }
+
+  /// Skew a node's physical clock by `offset` sim-time units (only ever
+  /// forward; the HLC tolerates arbitrary skew). Read via local_now().
+  void set_clock_skew(NodeId node, SimTime offset);
+  [[nodiscard]] SimTime local_now(NodeId node) const;
+
+  /// Restore every link and node (fault-free fabric). Injection rates and
+  /// clock skews are left to their owners (ChaosRunner resets them).
+  void heal();
+
   [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
   [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t messages_duplicated() const {
+    return duplicated_;
+  }
+  [[nodiscard]] std::uint64_t messages_reordered() const { return reordered_; }
 
   [[nodiscard]] bool link_exists(NodeId a, NodeId b) const;
   [[nodiscard]] bool link_up(NodeId a, NodeId b) const;
@@ -120,13 +157,23 @@ class Network {
   Link* find_link(NodeId from, NodeId to);
   [[nodiscard]] const Link* find_link(NodeId from, NodeId to) const;
 
+  void deliver(NodeId from, NodeId to, std::uint32_t kind, std::any body,
+               SimTime when);
+
   Scheduler& sched_;
   Rng rng_;
   std::unordered_map<NodeId, Actor*> actors_;
   std::map<std::pair<NodeId, NodeId>, Link> links_;
   std::set<NodeId> down_nodes_;
+  std::unordered_map<NodeId, SimTime> clock_skew_;
+  double duplicate_rate_ = 0.0;
+  double reorder_rate_ = 0.0;
+  LinkFilter reorder_filter_;
+  SimTime reorder_max_extra_ = 20 * kMillisecond;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t reordered_ = 0;
 };
 
 }  // namespace colony::sim

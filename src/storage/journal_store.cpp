@@ -138,6 +138,16 @@ std::vector<Dot> JournalStore::journalled_dots(const ObjectKey& key) const {
   return out;
 }
 
+std::vector<Dot> JournalStore::applied_dots(const ObjectKey& key) const {
+  const ObjectState* s = find(key);
+  std::vector<Dot> out;
+  if (s == nullptr) return out;
+  out.reserve(s->base_dots.size() + s->journal.size());
+  out.insert(out.end(), s->base_dots.begin(), s->base_dots.end());
+  for (const JournalEntry& entry : s->journal) out.push_back(entry.dot);
+  return out;
+}
+
 std::vector<ObjectKey> JournalStore::keys() const {
   std::vector<ObjectKey> out;
   out.reserve(objects_.size());

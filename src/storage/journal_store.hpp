@@ -89,6 +89,11 @@ class JournalStore {
   /// Dots journalled for `key` (newest last).
   [[nodiscard]] std::vector<Dot> journalled_dots(const ObjectKey& key) const;
 
+  /// Every dot reflected in the object: base-version dots (in bake order)
+  /// followed by journalled dots. Invariant checkers audit this list for
+  /// exactly-once application (no dot may appear twice).
+  [[nodiscard]] std::vector<Dot> applied_dots(const ObjectKey& key) const;
+
   [[nodiscard]] std::vector<ObjectKey> keys() const;
   [[nodiscard]] std::size_t journal_length(const ObjectKey& key) const;
   void erase(const ObjectKey& key);

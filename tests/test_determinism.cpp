@@ -3,6 +3,9 @@
 // yield different schedules.
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "chat/driver.hpp"
 #include "crdt/counter.hpp"
 
@@ -48,6 +51,33 @@ TEST(Determinism, SameSeedsSameWorld) {
   EXPECT_DOUBLE_EQ(a.mean_latency, b.mean_latency);
   EXPECT_EQ(a.dc_state, b.dc_state);
 }
+
+// Replay sweep: bit-identical reproduction must hold across the seed
+// space, not just for one hand-picked pair — chaos debugging depends on it.
+class DeterminismSweep
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(DeterminismSweep, BitIdenticalReplay) {
+  const auto [cluster_seed, driver_seed] = GetParam();
+  const RunResult a = run_once(cluster_seed, driver_seed);
+  const RunResult b = run_once(cluster_seed, driver_seed);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.dc_committed, b.dc_committed);
+  EXPECT_DOUBLE_EQ(a.mean_latency, b.mean_latency);
+  EXPECT_EQ(a.dc_state, b.dc_state);
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> seed_pairs() {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pairs;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    pairs.emplace_back(1000 + 17 * i, 5 + 31 * i);
+  }
+  return pairs;
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedPairs, DeterminismSweep,
+                         ::testing::ValuesIn(seed_pairs()));
 
 TEST(Determinism, DifferentSeedsDifferentSchedules) {
   const RunResult a = run_once(42, 7);

@@ -1,0 +1,161 @@
+// Message duplication and reordering injection: the Network-level hooks,
+// their counters, and the system-level guarantee that at-least-once
+// delivery never becomes more-than-once application (DotTracker contract).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "colony/cluster.hpp"
+#include "colony/session.hpp"
+#include "crdt/counter.hpp"
+#include "dc/shard.hpp"
+#include "sim/network.hpp"
+
+namespace colony {
+namespace {
+
+const ObjectKey kX{"app", "x"};
+
+struct Recorder final : sim::Actor {
+  Recorder(sim::Network& net, NodeId id) : Actor(net, id) {}
+  std::vector<std::uint32_t> received;
+  void handle(NodeId /*from*/, std::uint32_t kind,
+              const std::any& /*body*/) override {
+    received.push_back(kind);
+  }
+};
+
+TEST(FaultInjection, DuplicateRateDoublesDeliveryAndCounts) {
+  sim::Scheduler sched;
+  sim::Network net(sched, 1);
+  Recorder a(net, 1), b(net, 2);
+  net.connect(1, 2, sim::LatencyModel{1 * kMillisecond, 0});
+
+  net.set_duplicate_rate(1.0);
+  for (std::uint32_t i = 0; i < 10; ++i) net.send(1, 2, i, {});
+  sched.run_all();
+
+  EXPECT_EQ(net.messages_duplicated(), 10u);
+  EXPECT_EQ(b.received.size(), 20u);
+}
+
+TEST(FaultInjection, ZeroRatesLeaveDeliveryUntouched) {
+  sim::Scheduler sched;
+  sim::Network net(sched, 1);
+  Recorder a(net, 1), b(net, 2);
+  net.connect(1, 2, sim::LatencyModel{1 * kMillisecond, 0});
+
+  for (std::uint32_t i = 0; i < 5; ++i) net.send(1, 2, i, {});
+  sched.run_all();
+
+  EXPECT_EQ(net.messages_duplicated(), 0u);
+  EXPECT_EQ(net.messages_reordered(), 0u);
+  EXPECT_EQ(b.received.size(), 5u);
+  // FIFO preserved.
+  EXPECT_EQ(b.received, (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(FaultInjection, ReorderInjectionBreaksFifoAndCounts) {
+  sim::Scheduler sched;
+  sim::Network net(sched, 1);
+  Recorder a(net, 1), b(net, 2);
+  // Zero jitter: without injection delivery would be strictly FIFO.
+  net.connect(1, 2, sim::LatencyModel{1 * kMillisecond, 0});
+
+  net.set_reorder_rate(1.0, 50 * kMillisecond);
+  for (std::uint32_t i = 0; i < 40; ++i) net.send(1, 2, i, {});
+  sched.run_all();
+
+  EXPECT_EQ(net.messages_reordered(), 40u);
+  ASSERT_EQ(b.received.size(), 40u);
+  EXPECT_FALSE(std::is_sorted(b.received.begin(), b.received.end()))
+      << "reorder injection left delivery in FIFO order";
+}
+
+TEST(FaultInjection, ReorderFilterScopesInjectionToMatchingLinks) {
+  sim::Scheduler sched;
+  sim::Network net(sched, 1);
+  Recorder a(net, 1), b(net, 2), c(net, 3);
+  net.connect(1, 2, sim::LatencyModel{1 * kMillisecond, 0});
+  net.connect(1, 3, sim::LatencyModel{1 * kMillisecond, 0});
+
+  net.set_reorder_rate(1.0, 50 * kMillisecond);
+  net.set_reorder_filter(
+      [](NodeId /*from*/, NodeId to) { return to == 3; });
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    net.send(1, 2, i, {});
+    net.send(1, 3, i, {});
+  }
+  sched.run_all();
+
+  EXPECT_EQ(net.messages_reordered(), 20u);  // only the 1->3 sends
+  ASSERT_EQ(b.received.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(b.received.begin(), b.received.end()))
+      << "filtered-out link was reordered";
+}
+
+TEST(FaultInjection, ShardAppliesDuplicatedUpdateOnce) {
+  sim::Scheduler sched;
+  sim::Network net(sched, 1);
+  ShardServer shard(net, 2);
+  Recorder sender(net, 3);
+  net.connect(2, 3, sim::LatencyModel{1 * kMillisecond, 0});
+
+  proto::ShardApplyMsg msg;
+  msg.seq = 1;
+  msg.dot = Dot{9, 1};
+  msg.ops.push_back(
+      OpRecord{{"b", "x"}, CrdtType::kPnCounter, PnCounter::prepare_add(5)});
+
+  net.set_duplicate_rate(1.0);  // every send delivered twice
+  net.send(3, 2, proto::kShardApply, msg);
+  sched.run_until(sched.now() + kSecond);
+
+  EXPECT_EQ(net.messages_duplicated(), 1u);
+  const auto* counter =
+      dynamic_cast<const PnCounter*>(shard.object({"b", "x"}));
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value(), 5) << "duplicated kShardApply applied twice";
+}
+
+// End to end: with every message duplicated, committed transactions are
+// applied exactly once everywhere — the dot filters at DCs, edges, and
+// shards drop the second copy.
+TEST(FaultInjection, DuplicatedTransactionDeliveryIsFilteredByDotTracker) {
+  ClusterConfig cfg;
+  cfg.num_dcs = 2;
+  cfg.k_stability = 1;
+  Cluster cluster(cfg);
+  EdgeNode& writer = cluster.add_edge(ClientMode::kClientCache, 0, 1);
+  EdgeNode& reader = cluster.add_edge(ClientMode::kClientCache, 1, 2);
+  Session ws(writer), rs(reader);
+  rs.subscribe({kX}, [](Result<void>) {});
+  cluster.run_for(kSecond);
+
+  cluster.network().set_duplicate_rate(1.0);
+  std::int64_t expected = 0;
+  for (int i = 0; i < 8; ++i) {
+    auto txn = ws.begin();
+    ws.increment(txn, kX, 3);
+    ASSERT_TRUE(ws.commit(std::move(txn)).ok());
+    expected += 3;
+    cluster.run_for(500 * kMillisecond);
+  }
+  cluster.network().set_duplicate_rate(0.0);
+  ASSERT_TRUE(cluster.quiesce(30 * kSecond));
+  EXPECT_GT(cluster.network().messages_duplicated(), 0u);
+
+  for (DcId d = 0; d < cluster.num_dcs(); ++d) {
+    const auto* c =
+        dynamic_cast<const PnCounter*>(cluster.dc(d).store().current(kX));
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->value(), expected) << "dc" << d << " saw a duplicate apply";
+  }
+  ASSERT_TRUE(reader.is_cached(kX));
+  const auto* c = dynamic_cast<const PnCounter*>(reader.cached(kX));
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value(), expected) << "reader edge saw a duplicate apply";
+}
+
+}  // namespace
+}  // namespace colony

@@ -106,6 +106,59 @@ TEST_F(RpcTest, CallbackFiresExactlyOnceOnLateReply) {
   EXPECT_EQ(calls, 1);  // ignored
 }
 
+TEST_F(RpcTest, ReplyInFlightWhenTimeoutFiresIsDropped) {
+  // The reply is already on the wire when the timeout fires: the pending
+  // entry is erased exactly once, so on_response must fire exactly once
+  // (with the timeout error) and the landing reply is dropped.
+  EchoServer server(net, 1);
+  Client client(net, 2);
+  net.connect(1, 2, LatencyModel{5 * kMillisecond, 0});
+
+  int calls = 0;
+  bool ok = true;
+  client.call(1, 7, 1, [&](Result<std::any> r) {
+    ++calls;
+    ok = r.ok();
+  }, /*timeout=*/8 * kMillisecond);  // reply lands at 10ms
+  sched.run_all();
+  EXPECT_EQ(calls, 1);
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(RpcTest, ReplyAndTimeoutAtTheSameInstantFireOnce) {
+  // Exact tie: both the timeout event and the response delivery land at
+  // t=10ms. The timeout was scheduled first (at call time) so it wins the
+  // FIFO tie-break; either way the erase must make the loser a no-op.
+  EchoServer server(net, 1);
+  Client client(net, 2);
+  net.connect(1, 2, LatencyModel{5 * kMillisecond, 0});
+
+  int calls = 0;
+  client.call(1, 7, 1, [&](Result<std::any>) { ++calls; },
+              /*timeout=*/10 * kMillisecond);
+  sched.run_all();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(RpcTest, DanglingTimeoutAfterSuccessfulReplyIsNoOp) {
+  // The success path erases the pending entry; the still-scheduled timeout
+  // event later finds nothing and must not double-fire on_response.
+  EchoServer server(net, 1);
+  Client client(net, 2);
+  net.connect(1, 2, LatencyModel{1 * kMillisecond, 0});
+
+  int calls = 0;
+  bool ok = false;
+  client.call(1, 7, 41, [&](Result<std::any> r) {
+    ++calls;
+    ok = r.ok();
+  }, /*timeout=*/30 * kSecond);
+  sched.run_all();  // drains the reply AND the dangling timeout event
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(sched.now(), 30 * kSecond);  // the timeout event did fire
+}
+
 TEST_F(RpcTest, AsynchronousServerReply) {
   EchoServer server(net, 1);
   server.defer = true;
