@@ -63,6 +63,10 @@ void VersionVector::encode(Encoder& enc) const {
 
 VersionVector VersionVector::decode(Decoder& dec) {
   const std::uint32_t n = dec.u32();
+  if (n > dec.remaining()) {  // hostile count: reject before allocating
+    dec.fail();
+    return VersionVector{};
+  }
   VersionVector vv(n);
   for (std::uint32_t i = 0; i < n; ++i) vv.v_[i] = dec.u64();
   return vv;

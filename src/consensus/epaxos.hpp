@@ -25,6 +25,7 @@
 #include <functional>
 #include <map>
 #include <set>
+#include <tuple>
 #include <variant>
 #include <vector>
 
@@ -41,6 +42,9 @@ struct Command {
   Bytes payload;
 
   [[nodiscard]] bool interferes(const Command& other) const;
+
+  bool operator==(const Command&) const = default;
+  auto fields() { return std::tie(id, keys, payload); }
 };
 
 struct InstanceId {
@@ -48,6 +52,8 @@ struct InstanceId {
   std::uint64_t slot = 0;
 
   auto operator<=>(const InstanceId&) const = default;
+
+  auto fields() { return std::tie(replica, slot); }
 };
 
 enum class InstanceStatus : std::uint8_t {
@@ -63,27 +69,42 @@ struct PreAcceptMsg {
   Command cmd;
   std::uint64_t seq = 0;
   std::set<InstanceId> deps;
+
+  bool operator==(const PreAcceptMsg&) const = default;
+  auto fields() { return std::tie(inst, cmd, seq, deps); }
 };
 struct PreAcceptReplyMsg {
   InstanceId inst;
   std::uint64_t seq = 0;
   std::set<InstanceId> deps;
   bool changed = false;
+
+  bool operator==(const PreAcceptReplyMsg&) const = default;
+  auto fields() { return std::tie(inst, seq, deps, changed); }
 };
 struct AcceptMsg {
   InstanceId inst;
   Command cmd;
   std::uint64_t seq = 0;
   std::set<InstanceId> deps;
+
+  bool operator==(const AcceptMsg&) const = default;
+  auto fields() { return std::tie(inst, cmd, seq, deps); }
 };
 struct AcceptReplyMsg {
   InstanceId inst;
+
+  bool operator==(const AcceptReplyMsg&) const = default;
+  auto fields() { return std::tie(inst); }
 };
 struct CommitMsg {
   InstanceId inst;
   Command cmd;
   std::uint64_t seq = 0;
   std::set<InstanceId> deps;
+
+  bool operator==(const CommitMsg&) const = default;
+  auto fields() { return std::tie(inst, cmd, seq, deps); }
 };
 
 using EpaxosMsg = std::variant<PreAcceptMsg, PreAcceptReplyMsg, AcceptMsg,

@@ -39,7 +39,8 @@ TxnMeta TxnMeta::decode(Decoder& dec) {
   m.user = dec.u64();
   m.snapshot = VersionVector::decode(dec);
   const std::uint32_t n = dec.u32();
-  for (std::uint32_t i = 0; i < n; ++i) {
+  if (n > dec.remaining()) dec.fail();  // hostile count: reject pre-alloc
+  for (std::uint32_t i = 0; i < n && dec.ok(); ++i) {
     m.pending_deps.push_back(Dot::decode(dec));
   }
   m.concrete = dec.boolean();
@@ -58,8 +59,8 @@ Transaction Transaction::decode(Decoder& dec) {
   Transaction txn;
   txn.meta = TxnMeta::decode(dec);
   const std::uint32_t n = dec.u32();
-  txn.ops.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
+  if (n > dec.remaining()) dec.fail();
+  for (std::uint32_t i = 0; i < n && dec.ok(); ++i) {
     txn.ops.push_back(OpRecord::decode(dec));
   }
   return txn;

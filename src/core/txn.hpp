@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -34,6 +35,8 @@ struct OpRecord {
 
   void encode(Encoder& enc) const;
   static OpRecord decode(Decoder& dec);
+  bool operator==(const OpRecord&) const = default;
+  auto fields() { return std::tie(key, type, payload); }
 };
 
 /// Transaction metadata, mutated as commit information is learned.
@@ -75,6 +78,11 @@ struct TxnMeta {
 
   void encode(Encoder& enc) const;
   static TxnMeta decode(Decoder& dec);
+  bool operator==(const TxnMeta&) const = default;
+  auto fields() {
+    return std::tie(dot, origin, user, snapshot, pending_deps, concrete,
+                    commit, accepted_mask);
+  }
 };
 
 /// Value (wire) representation of a transaction: metadata plus operations.
@@ -86,6 +94,8 @@ struct Transaction {
   static Transaction decode(Decoder& dec);
   [[nodiscard]] Bytes to_bytes() const;
   static Transaction from_bytes(const Bytes& bytes);
+  bool operator==(const Transaction&) const = default;
+  auto fields() { return std::tie(meta, ops); }
 };
 
 /// Node-local store of every transaction the node knows about, visible or

@@ -309,8 +309,8 @@ void DcNode::handle_edge_commit(NodeId /*from*/,
       known != nullptr && known->meta.concrete) {
     for (DcId dc = 0; dc < 32; ++dc) {
       if (known->meta.accepted_by(dc)) {
-        reply(std::any{proto::EdgeCommitResp{
-            dot, dc, known->meta.commit.at(dc), known->meta.snapshot}});
+        reply(codec::to_bytes(proto::EdgeCommitResp{
+            dot, dc, known->meta.commit.at(dc), known->meta.snapshot}));
         return;
       }
     }
@@ -338,7 +338,7 @@ void DcNode::handle_edge_commit(NodeId /*from*/,
   txn.meta.snapshot = eff;
   txn.meta.pending_deps.clear();
   const Timestamp ts = commit_here(std::move(txn));
-  reply(std::any{proto::EdgeCommitResp{dot, config_.dc_id, ts, eff}});
+  reply(codec::to_bytes(proto::EdgeCommitResp{dot, config_.dc_id, ts, eff}));
 }
 
 void DcNode::handle_dc_execute(NodeId from, const proto::DcExecuteReq& req,
@@ -372,7 +372,7 @@ void DcNode::handle_dc_execute(NodeId from, const proto::DcExecuteReq& req,
       return;
     }
     if (ctx->req.updates.empty()) {
-      ctx->reply(std::any{ctx->resp});
+      ctx->reply(codec::to_bytes(ctx->resp));
       return;
     }
     // Two-phase commit across the owning shards.
@@ -386,9 +386,9 @@ void DcNode::handle_dc_execute(NodeId from, const proto::DcExecuteReq& req,
     for (const auto& [shard, ops] : by_shard) {
       call(shard_nodes_[shard], proto::kShardPrepare,
            proto::ShardPrepareReq{txn_id, ops},
-           [this, ctx, votes, ok, txn_id, by_shard](Result<std::any> r) {
+           [this, ctx, votes, ok, txn_id, by_shard](Result<Bytes> r) {
              if (!r.ok() ||
-                 !std::any_cast<const proto::ShardPrepareResp&>(r.value())
+                 !codec::from_bytes<proto::ShardPrepareResp>(r.value())
                       .vote_commit) {
                *ok = false;
              }
@@ -415,7 +415,7 @@ void DcNode::handle_dc_execute(NodeId from, const proto::DcExecuteReq& req,
                     proto::ShardCommitMsg{txn_id, true, ts,
                                           ctx->resp.dot});
              }
-             ctx->reply(std::any{ctx->resp});
+             ctx->reply(codec::to_bytes(ctx->resp));
            });
     }
   };
@@ -429,12 +429,12 @@ void DcNode::handle_dc_execute(NodeId from, const proto::DcExecuteReq& req,
     const ObjectKey& key = req.reads[i];
     call(shard_nodes_[ring_.owner(key)], proto::kShardRead,
          proto::ShardReadReq{key, snapshot_seq},
-         [ctx, i, key, finish_reads](Result<std::any> r) {
+         [ctx, i, key, finish_reads](Result<Bytes> r) {
            if (!r.ok()) {
              ctx->failed = true;
            } else {
-             const auto& resp =
-                 std::any_cast<const proto::ShardReadResp&>(r.value());
+             const auto resp =
+                 codec::from_bytes<proto::ShardReadResp>(r.value());
              ObjectSnapshot snap;
              snap.key = key;
              if (resp.found) {
@@ -477,7 +477,7 @@ void DcNode::handle_subscribe(NodeId from, const proto::SubscribeReq& req,
     }
   }
   session.last_cut_sent = resp.cut;
-  reply(std::any{resp});
+  reply(codec::to_bytes(resp));
 }
 
 void DcNode::handle_fetch(NodeId from, const proto::FetchReq& req,
@@ -509,7 +509,7 @@ void DcNode::handle_fetch(NodeId from, const proto::FetchReq& req,
   const auto sit = sessions_.find(from);
   const VersionVector cut =
       sit == sessions_.end() ? k_cut_ : session_cut(sit->second);
-  reply(std::any{proto::FetchResp{std::move(*snap), cut}});
+  reply(codec::to_bytes(proto::FetchResp{std::move(*snap), cut}));
 }
 
 void DcNode::handle_migrate(NodeId from, const proto::MigrateReq& req,
@@ -520,7 +520,7 @@ void DcNode::handle_migrate(NodeId from, const proto::MigrateReq& req,
   // edge node's dependencies.
   if (!req.state.leq(engine_.state_vector())) {
     resp.compatible = false;
-    reply(std::any{resp});
+    reply(codec::to_bytes(resp));
     return;
   }
   EdgeSession& session = sessions_[from];
@@ -546,7 +546,7 @@ void DcNode::handle_migrate(NodeId from, const proto::MigrateReq& req,
     session.acked = boundary;
   }
   resp.compatible = true;
-  reply(std::any{resp});
+  reply(codec::to_bytes(resp));
 }
 
 // ---------------------------------------------------------------------------
@@ -565,16 +565,16 @@ void DcNode::handle_replicate(const proto::ReplicateTxn& msg) {
 // ---------------------------------------------------------------------------
 
 void DcNode::on_message(NodeId from, std::uint32_t kind,
-                        const std::any& body) {
+                        const Bytes& body) {
   switch (kind) {
     case proto::kReplicateTxn:
-      handle_replicate(std::any_cast<const proto::ReplicateTxn&>(body));
+      handle_replicate(codec::from_bytes<proto::ReplicateTxn>(body));
       break;
     case proto::kDcGossip:
-      handle_gossip(from, std::any_cast<const proto::DcGossip&>(body));
+      handle_gossip(from, codec::from_bytes<proto::DcGossip>(body));
       break;
     case proto::kPushAck: {
-      const auto& msg = std::any_cast<const proto::PushAck&>(body);
+      const auto msg = codec::from_bytes<proto::PushAck>(body);
       const auto it = sessions_.find(from);
       if (it != sessions_.end()) {
         EdgeSession& session = it->second;
@@ -589,7 +589,7 @@ void DcNode::on_message(NodeId from, std::uint32_t kind,
       break;
     }
     case proto::kUnsubscribe: {
-      const auto& msg = std::any_cast<const proto::UnsubscribeMsg&>(body);
+      const auto msg = codec::from_bytes<proto::UnsubscribeMsg>(body);
       const auto it = sessions_.find(from);
       if (it != sessions_.end()) {
         for (const ObjectKey& key : msg.keys) it->second.interest.erase(key);
@@ -602,7 +602,7 @@ void DcNode::on_message(NodeId from, std::uint32_t kind,
 }
 
 void DcNode::on_request(NodeId from, std::uint32_t method,
-                        const std::any& payload, ReplyFn reply) {
+                        const Bytes& payload, ReplyFn reply) {
   // Client-facing requests queue behind the DC's logical CPU; the queueing
   // delay under load is what bends the Figure 4 latency curve upward.
   const SimTime service = method == proto::kDcExecute
@@ -618,36 +618,35 @@ void DcNode::on_request(NodeId from, std::uint32_t method,
 }
 
 void DcNode::dispatch_request(NodeId from, std::uint32_t method,
-                              const std::any& payload, ReplyFn reply) {
+                              const Bytes& payload, ReplyFn reply) {
   switch (method) {
     case proto::kEdgeCommit:
       handle_edge_commit(from,
-                         std::any_cast<const proto::EdgeCommitReq&>(payload),
+                         codec::from_bytes<proto::EdgeCommitReq>(payload),
                          std::move(reply));
       break;
     case proto::kSubscribe:
-      handle_subscribe(from,
-                       std::any_cast<const proto::SubscribeReq&>(payload),
+      handle_subscribe(from, codec::from_bytes<proto::SubscribeReq>(payload),
                        std::move(reply));
       break;
     case proto::kFetchObject:
-      handle_fetch(from, std::any_cast<const proto::FetchReq&>(payload),
+      handle_fetch(from, codec::from_bytes<proto::FetchReq>(payload),
                    std::move(reply));
       break;
     case proto::kMigrate:
-      handle_migrate(from, std::any_cast<const proto::MigrateReq&>(payload),
+      handle_migrate(from, codec::from_bytes<proto::MigrateReq>(payload),
                      std::move(reply));
       break;
     case proto::kDcExecute:
       handle_dc_execute(from,
-                        std::any_cast<const proto::DcExecuteReq&>(payload),
+                        codec::from_bytes<proto::DcExecuteReq>(payload),
                         std::move(reply));
       break;
     case proto::kOpenSession: {
       // Session opening (section 6.2): authenticate and hand out session
       // keys for the buckets the user may read. With an open policy (no
       // ACL installed) everyone is authorised.
-      const auto& req = std::any_cast<const proto::OpenSessionReq&>(payload);
+      const auto req = codec::from_bytes<proto::OpenSessionReq>(payload);
       proto::OpenSessionResp resp;
       const security::AclObject* policy = acl();
       for (const std::string& bucket : req.buckets) {
@@ -658,7 +657,7 @@ void DcNode::dispatch_request(NodeId from, std::uint32_t method,
         keys_.authorize(bucket, req.user);
         resp.keys.emplace_back(bucket, *keys_.key_for(bucket, req.user));
       }
-      reply(std::any{resp});
+      reply(codec::to_bytes(resp));
       break;
     }
     default:

@@ -77,13 +77,13 @@ class DcNode final : public sim::RpcActor {
 
  protected:
   void on_message(NodeId from, std::uint32_t kind,
-                  const std::any& body) override;
-  void on_request(NodeId from, std::uint32_t method, const std::any& payload,
+                  const Bytes& body) override;
+  void on_request(NodeId from, std::uint32_t method, const Bytes& payload,
                   ReplyFn reply) override;
 
  private:
   void dispatch_request(NodeId from, std::uint32_t method,
-                        const std::any& payload, ReplyFn reply);
+                        const Bytes& payload, ReplyFn reply);
   struct EdgeSession {
     UserId user = 0;
     std::set<ObjectKey> interest;

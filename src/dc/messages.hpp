@@ -1,18 +1,25 @@
 // Wire protocol between edge nodes, peer groups, and data centres.
 //
-// Message bodies travel through the simulated network as typed structs (the
-// simulator delivers std::any); kinds below identify them. Metadata sizes
-// for the ablation bench are computed from the structs' codec encodings.
+// Message bodies cross the simulated network as length-prefixed,
+// checksummed byte frames; kinds below identify them. Every struct exposes
+// its members via `fields()` so the generic codec (util/codec.hpp) derives
+// its encoding — senders encode, receivers decode on every hop, and the
+// metadata ablation bench reports the *measured* per-kind frame bytes the
+// network metered.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "clock/version_vector.hpp"
 #include "consensus/epaxos.hpp"
 #include "core/txn.hpp"
 #include "storage/journal_store.hpp"
+#include "util/codec.hpp"
 #include "util/types.hpp"
 
 namespace colony::proto {
@@ -52,35 +59,85 @@ enum Kind : std::uint32_t {
   kGroupPing = 49,        // RPC  parent -> member liveness probe
 };
 
+/// Human-readable kind label (per-kind wire accounting reports).
+[[nodiscard]] constexpr const char* kind_name(std::uint32_t kind) {
+  switch (kind) {
+    case kEdgeCommit: return "edge-commit";
+    case kSubscribe: return "subscribe";
+    case kFetchObject: return "fetch-object";
+    case kPushTxn: return "push-txn";
+    case kStateUpdate: return "state-update";
+    case kMigrate: return "migrate";
+    case kDcExecute: return "dc-execute";
+    case kOpenSession: return "open-session";
+    case kPushAck: return "push-ack";
+    case kReplicateTxn: return "replicate-txn";
+    case kDcGossip: return "dc-gossip";
+    case kShardRead: return "shard-read";
+    case kShardPrepare: return "shard-prepare";
+    case kShardCommit: return "shard-commit";
+    case kShardApply: return "shard-apply";
+    case kGroupJoin: return "group-join";
+    case kGroupLeave: return "group-leave";
+    case kGroupMembership: return "group-membership";
+    case kEpaxos: return "epaxos";
+    case kGroupCatchup: return "group-catchup";
+    case kPeerFetch: return "peer-fetch";
+    case kResolutionRelay: return "resolution-relay";
+    case kInterestUpdate: return "interest-update";
+    case kUnsubscribe: return "unsubscribe";
+    case kGroupPing: return "group-ping";
+    default: return "?";
+  }
+}
+
 // --- Edge <-> DC -----------------------------------------------------------
 
 struct EdgeCommitReq {
   Transaction txn;  // symbolic commit; pending_deps reference earlier dots
+
+  bool operator==(const EdgeCommitReq&) const = default;
+  auto fields() { return std::tie(txn); }
 };
 struct EdgeCommitResp {
   Dot dot;
   DcId dc = 0;
   Timestamp ts = 0;                 // assigned commit timestamp T.C[dc]
   VersionVector resolved_snapshot;  // DC-resolved concrete snapshot
+
+  bool operator==(const EdgeCommitResp&) const = default;
+  auto fields() { return std::tie(dot, dc, ts, resolved_snapshot); }
 };
 
 struct SubscribeReq {
   std::vector<ObjectKey> keys;
   UserId user = 0;
+
+  bool operator==(const SubscribeReq&) const = default;
+  auto fields() { return std::tie(keys, user); }
 };
 struct SubscribeResp {
   std::vector<ObjectSnapshot> snapshots;
   VersionVector cut;  // k-stable cut the snapshots were materialised at
+
+  bool operator==(const SubscribeResp&) const = default;
+  auto fields() { return std::tie(snapshots, cut); }
 };
 
 struct FetchReq {
   ObjectKey key;
   bool subscribe = true;  // also add the key to the session interest set
   UserId user = 0;
+
+  bool operator==(const FetchReq&) const = default;
+  auto fields() { return std::tie(key, subscribe, user); }
 };
 struct FetchResp {
   ObjectSnapshot snapshot;
   VersionVector cut;
+
+  bool operator==(const FetchResp&) const = default;
+  auto fields() { return std::tie(snapshot, cut); }
 };
 
 struct PushTxn {
@@ -90,6 +147,9 @@ struct PushTxn {
   /// subscriber acks its contiguous receive prefix so the DC can detect
   /// pushes lost to a crash or connection break and rewind (Go-Back-N).
   std::uint64_t session_seq = 0;
+
+  bool operator==(const PushTxn&) const = default;
+  auto fields() { return std::tie(txn, session_seq); }
 };
 struct StateUpdate {
   VersionVector cut;
@@ -100,11 +160,17 @@ struct StateUpdate {
   /// a cut whose watermark exceeds its contiguous receive prefix — doing
   /// so would let successors of a lost push become visible first.
   std::uint64_t seq_watermark = 0;
+
+  bool operator==(const StateUpdate&) const = default;
+  auto fields() { return std::tie(cut, seq_watermark); }
 };
 /// Cumulative acknowledgement of session pushes: all pushes with
 /// session_seq <= seq have been received (links are FIFO).
 struct PushAck {
   std::uint64_t seq = 0;
+
+  bool operator==(const PushAck&) const = default;
+  auto fields() { return std::tie(seq); }
 };
 
 /// Receiver half of the acknowledged session channel. Crash windows can
@@ -116,13 +182,23 @@ struct PushAck {
 struct PushChannelRecv {
   std::uint64_t last_seq = 0;  // contiguous receive prefix
 
-  /// Returns the seq to acknowledge, or 0 to withhold (gap detected or
-  /// unacked channel).
-  std::uint64_t on_push(std::uint64_t seq) {
-    if (seq == 0) return 0;  // unacked channel (peer-group parent)
-    if (seq == last_seq + 1) return ++last_seq;
-    if (seq <= last_seq) return last_seq;  // duplicate: re-ack the prefix
-    return 0;  // gap: withhold; the sender stalls and rewinds
+  struct Push {
+    bool deliver = false;   // payload may be handed to the engine
+    std::uint64_t ack = 0;  // seq to acknowledge, 0 to withhold
+  };
+
+  /// Go-Back-N receive. In-order pushes are delivered and acked; duplicates
+  /// are delivered (the dot filter drops them) and re-acked. After-gap
+  /// pushes are DISCARDED, not just left unacked: a push that jumps the gap
+  /// carries a transaction whose applied commit vector can cover the lost
+  /// one's slot, letting successors of the lost transaction become visible
+  /// first. The withheld ack stalls the sender into its rewind, which
+  /// re-sends the suffix from the acknowledged prefix in order.
+  Push on_push(std::uint64_t seq) {
+    if (seq == 0) return {true, 0};  // unacked channel (peer-group parent)
+    if (seq == last_seq + 1) return {true, ++last_seq};
+    if (seq <= last_seq) return {true, last_seq};  // duplicate: re-ack
+    return {false, 0};  // gap: drop; the sender stalls and rewinds
   }
   [[nodiscard]] bool covers(std::uint64_t watermark) const {
     return watermark <= last_seq;
@@ -138,10 +214,16 @@ struct MigrateReq {
   /// an own commit merges a DC snapshot covering foreign transactions the
   /// edge never received — so the new DC backfills from here instead.
   VersionVector possessed;
+
+  bool operator==(const MigrateReq&) const = default;
+  auto fields() { return std::tie(state, interest, user, possessed); }
 };
 struct MigrateResp {
   bool compatible = false;
   VersionVector cut;
+
+  bool operator==(const MigrateResp&) const = default;
+  auto fields() { return std::tie(compatible, cut); }
 };
 
 /// Cloud-mode (AntidoteDB-like) and migrated-transaction execution: the DC
@@ -157,10 +239,16 @@ struct DcExecuteReq {
   std::vector<OpRecord> updates;
   UserId user = 0;
   VersionVector min_snapshot;
+
+  bool operator==(const DcExecuteReq&) const = default;
+  auto fields() { return std::tie(reads, updates, user, min_snapshot); }
 };
 struct DcExecuteResp {
   std::vector<ObjectSnapshot> read_values;
   Dot dot;  // of the committed update transaction (if updates non-empty)
+
+  bool operator==(const DcExecuteResp&) const = default;
+  auto fields() { return std::tie(read_values, dot); }
 };
 
 /// Session opening (section 6.1-6.2): the session manager in the core
@@ -169,21 +257,33 @@ struct DcExecuteResp {
 struct OpenSessionReq {
   UserId user = 0;
   std::vector<std::string> buckets;
+
+  bool operator==(const OpenSessionReq&) const = default;
+  auto fields() { return std::tie(user, buckets); }
 };
 struct OpenSessionResp {
   /// (bucket, key) pairs for the buckets the user is authorised to read;
   /// unauthorised buckets are omitted.
   std::vector<std::pair<std::string, std::uint64_t>> keys;
+
+  bool operator==(const OpenSessionResp&) const = default;
+  auto fields() { return std::tie(keys); }
 };
 
 // --- DC <-> DC --------------------------------------------------------------
 
 struct ReplicateTxn {
   Transaction txn;
+
+  bool operator==(const ReplicateTxn&) const = default;
+  auto fields() { return std::tie(txn); }
 };
 struct DcGossip {
   DcId dc = 0;
   VersionVector state;
+
+  bool operator==(const DcGossip&) const = default;
+  auto fields() { return std::tie(dc, state); }
 };
 
 // --- Intra-DC shards ---------------------------------------------------------
@@ -191,30 +291,48 @@ struct DcGossip {
 struct ShardReadReq {
   ObjectKey key;
   Timestamp min_seq = 0;  // ClockSI read rule: wait until shard caught up
+
+  bool operator==(const ShardReadReq&) const = default;
+  auto fields() { return std::tie(key, min_seq); }
 };
 struct ShardReadResp {
   bool found = false;
   CrdtType type{};
   Bytes state;
+
+  bool operator==(const ShardReadResp&) const = default;
+  auto fields() { return std::tie(found, type, state); }
 };
 struct ShardPrepareReq {
   std::uint64_t txn_id = 0;
   std::vector<OpRecord> ops;  // ops owned by this shard
+
+  bool operator==(const ShardPrepareReq&) const = default;
+  auto fields() { return std::tie(txn_id, ops); }
 };
 struct ShardPrepareResp {
   std::uint64_t txn_id = 0;
   bool vote_commit = false;
+
+  bool operator==(const ShardPrepareResp&) const = default;
+  auto fields() { return std::tie(txn_id, vote_commit); }
 };
 struct ShardCommitMsg {
   std::uint64_t txn_id = 0;
   bool commit = false;
   Timestamp seq = 0;  // DC sequence number of the transaction
   Dot dot;
+
+  bool operator==(const ShardCommitMsg&) const = default;
+  auto fields() { return std::tie(txn_id, commit, seq, dot); }
 };
 struct ShardApplyMsg {
   Timestamp seq = 0;
   Dot dot;
   std::vector<OpRecord> ops;  // ops owned by this shard
+
+  bool operator==(const ShardApplyMsg&) const = default;
+  auto fields() { return std::tie(seq, dot, ops); }
 };
 
 // --- Peer group --------------------------------------------------------------
@@ -224,53 +342,89 @@ struct GroupJoinReq {
   UserId user = 0;
   VersionVector state;  // causal compatibility check (section 5.2)
   std::vector<ObjectKey> interest;
+
+  bool operator==(const GroupJoinReq&) const = default;
+  auto fields() { return std::tie(node, user, state, interest); }
 };
 struct GroupJoinResp {
   bool accepted = false;
   std::uint64_t epoch = 0;
   std::vector<NodeId> members;  // includes the parent
   std::uint64_t session_key = 0;
+
+  bool operator==(const GroupJoinResp&) const = default;
+  auto fields() { return std::tie(accepted, epoch, members, session_key); }
 };
 struct GroupLeaveReq {
   NodeId node = 0;
+
+  bool operator==(const GroupLeaveReq&) const = default;
+  auto fields() { return std::tie(node); }
 };
 struct MembershipMsg {
   std::uint64_t epoch = 0;
   std::vector<NodeId> members;
+
+  bool operator==(const MembershipMsg&) const = default;
+  auto fields() { return std::tie(epoch, members); }
 };
 struct EpaxosEnvelope {
   std::uint64_t epoch = 0;
   consensus::EpaxosMsg msg;
+
+  bool operator==(const EpaxosEnvelope&) const = default;
+  auto fields() { return std::tie(epoch, msg); }
 };
 struct CatchupReq {
   NodeId node = 0;
+
+  bool operator==(const CatchupReq&) const = default;
+  auto fields() { return std::tie(node); }
 };
 struct CatchupResp {
   std::vector<consensus::CommitMsg> instances;
   std::vector<Transaction> txns;  // records referenced by the instances
   VersionVector cut;
+
+  bool operator==(const CatchupResp&) const = default;
+  auto fields() { return std::tie(instances, txns, cut); }
 };
 struct PeerFetchReq {
   ObjectKey key;
   bool subscribe = true;
   NodeId member = 0;
+
+  bool operator==(const PeerFetchReq&) const = default;
+  auto fields() { return std::tie(key, subscribe, member); }
 };
 struct PeerFetchResp {
   bool found = false;
   ObjectSnapshot snapshot;
+
+  bool operator==(const PeerFetchResp&) const = default;
+  auto fields() { return std::tie(found, snapshot); }
 };
 struct ResolutionMsg {
   Dot dot;
   DcId dc = 0;
   Timestamp ts = 0;
   VersionVector resolved_snapshot;
+
+  bool operator==(const ResolutionMsg&) const = default;
+  auto fields() { return std::tie(dot, dc, ts, resolved_snapshot); }
 };
 struct InterestUpdate {
   NodeId node = 0;
   std::vector<ObjectKey> keys;
+
+  bool operator==(const InterestUpdate&) const = default;
+  auto fields() { return std::tie(node, keys); }
 };
 struct UnsubscribeMsg {
   std::vector<ObjectKey> keys;
+
+  bool operator==(const UnsubscribeMsg&) const = default;
+  auto fields() { return std::tie(keys); }
 };
 
 /// Payload of an EPaxos command inside a peer group: the transaction plus,
@@ -282,32 +436,12 @@ struct GroupCommand {
   Transaction txn;
   std::vector<std::pair<ObjectKey, std::uint64_t>> expected;
 
-  [[nodiscard]] Bytes to_bytes() const {
-    Encoder enc;
-    enc.boolean(ordered);
-    txn.encode(enc);
-    enc.u32(static_cast<std::uint32_t>(expected.size()));
-    for (const auto& [key, count] : expected) {
-      enc.str(key.bucket);
-      enc.str(key.name);
-      enc.u64(count);
-    }
-    return enc.take();
-  }
+  bool operator==(const GroupCommand&) const = default;
+  auto fields() { return std::tie(ordered, txn, expected); }
 
+  [[nodiscard]] Bytes to_bytes() const { return codec::to_bytes(*this); }
   static GroupCommand from_bytes(const Bytes& bytes) {
-    Decoder dec(bytes);
-    GroupCommand gc;
-    gc.ordered = dec.boolean();
-    gc.txn = Transaction::decode(dec);
-    const std::uint32_t n = dec.u32();
-    for (std::uint32_t i = 0; i < n; ++i) {
-      ObjectKey key;
-      key.bucket = dec.str();
-      key.name = dec.str();
-      gc.expected.emplace_back(std::move(key), dec.u64());
-    }
-    return gc;
+    return codec::from_bytes<GroupCommand>(bytes);
   }
 };
 

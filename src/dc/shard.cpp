@@ -38,7 +38,7 @@ void ShardServer::serve_ready_reads() {
   };
   for (auto it = waiting_reads_.begin(); it != waiting_reads_.end();) {
     if (ready(*it)) {
-      it->reply(std::any{read_value(it->key)});
+      it->reply(codec::to_bytes(read_value(it->key)));
       it = waiting_reads_.erase(it);
     } else {
       ++it;
@@ -47,10 +47,10 @@ void ShardServer::serve_ready_reads() {
 }
 
 void ShardServer::on_message(NodeId /*from*/, std::uint32_t kind,
-                             const std::any& body) {
+                             const Bytes& body) {
   switch (kind) {
     case proto::kShardApply: {
-      const auto& msg = std::any_cast<const proto::ShardApplyMsg&>(body);
+      const auto msg = codec::from_bytes<proto::ShardApplyMsg>(body);
       // At-least-once delivery: a duplicated apply still advances the seq
       // watermark but must not replay its operations.
       if (seen_.record(msg.dot)) apply_ops(msg.ops);
@@ -59,7 +59,7 @@ void ShardServer::on_message(NodeId /*from*/, std::uint32_t kind,
       break;
     }
     case proto::kShardCommit: {
-      const auto& msg = std::any_cast<const proto::ShardCommitMsg&>(body);
+      const auto msg = codec::from_bytes<proto::ShardCommitMsg>(body);
       // The 2PC decision releases the prepared buffer; the data itself
       // arrives through the uniform kShardApply path so every transaction
       // flows through exactly one apply pipeline.
@@ -72,10 +72,10 @@ void ShardServer::on_message(NodeId /*from*/, std::uint32_t kind,
 }
 
 void ShardServer::on_request(NodeId /*from*/, std::uint32_t method,
-                             const std::any& payload, ReplyFn reply) {
+                             const Bytes& payload, ReplyFn reply) {
   switch (method) {
     case proto::kShardRead: {
-      const auto& req = std::any_cast<const proto::ShardReadReq&>(payload);
+      const auto req = codec::from_bytes<proto::ShardReadReq>(payload);
       if (req.min_seq > applied_seq_) {
         // ClockSI read rule: this shard has not caught up to the snapshot;
         // defer the reply until it has.
@@ -83,12 +83,11 @@ void ShardServer::on_request(NodeId /*from*/, std::uint32_t method,
                                              std::move(reply)});
         return;
       }
-      reply(std::any{read_value(req.key)});
+      reply(codec::to_bytes(read_value(req.key)));
       break;
     }
     case proto::kShardPrepare: {
-      const auto& req =
-          std::any_cast<const proto::ShardPrepareReq&>(payload);
+      const auto req = codec::from_bytes<proto::ShardPrepareReq>(payload);
       // CRDT updates never write-conflict; vote no only on a type clash.
       bool ok = true;
       for (const OpRecord& op : req.ops) {
@@ -99,7 +98,7 @@ void ShardServer::on_request(NodeId /*from*/, std::uint32_t method,
         }
       }
       if (ok) prepared_[req.txn_id] = req.ops;
-      reply(std::any{proto::ShardPrepareResp{req.txn_id, ok}});
+      reply(codec::to_bytes(proto::ShardPrepareResp{req.txn_id, ok}));
       break;
     }
     default:

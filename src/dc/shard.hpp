@@ -38,8 +38,8 @@ class ShardServer final : public sim::RpcActor {
 
  protected:
   void on_message(NodeId from, std::uint32_t kind,
-                  const std::any& body) override;
-  void on_request(NodeId from, std::uint32_t method, const std::any& payload,
+                  const Bytes& body) override;
+  void on_request(NodeId from, std::uint32_t method, const Bytes& payload,
                   ReplyFn reply) override;
 
  private:

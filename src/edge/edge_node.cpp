@@ -87,12 +87,12 @@ void EdgeNode::migrate_transaction(std::vector<ObjectKey> reads,
     req.user = config_.user;
     req.min_snapshot = engine_.state_vector();
     call(config_.dc, proto::kDcExecute, std::move(req),
-         [cb = std::move(cb)](Result<std::any> r) {
+         [cb = std::move(cb)](Result<Bytes> r) {
            if (!r.ok()) {
              cb(r.error());
              return;
            }
-           cb(std::any_cast<const proto::DcExecuteResp&>(r.value()));
+           cb(codec::from_bytes<proto::DcExecuteResp>(r.value()));
          });
   };
   if (unacked_.empty()) {
@@ -177,10 +177,10 @@ void EdgeNode::read(Txn& txn, const ObjectKey& key, CrdtType type,
     // union of the members' interest sets.
     call(group_->parent, proto::kPeerFetch,
          proto::PeerFetchReq{key, true, id()},
-         [this, &txn, key, type, cb = std::move(cb)](Result<std::any> r) {
+         [this, &txn, key, type, cb = std::move(cb)](Result<Bytes> r) {
            if (r.ok()) {
-             const auto& resp =
-                 std::any_cast<const proto::PeerFetchResp&>(r.value());
+             const auto resp =
+                 codec::from_bytes<proto::PeerFetchResp>(r.value());
              if (resp.found) {
                import_fetched(resp.snapshot, VersionVector{});
                admit(key);
@@ -199,10 +199,9 @@ void EdgeNode::fetch_from_dc(const Txn& txn, const ObjectKey& key,
                              CrdtType type, ReadCb cb) {
   call(config_.dc, proto::kFetchObject,
        proto::FetchReq{key, true, config_.user},
-       [this, &txn, key, type, cb = std::move(cb)](Result<std::any> r) {
+       [this, &txn, key, type, cb = std::move(cb)](Result<Bytes> r) {
          if (r.ok()) {
-           const auto& resp =
-               std::any_cast<const proto::FetchResp&>(r.value());
+           const auto resp = codec::from_bytes<proto::FetchResp>(r.value());
            import_fetched(resp.snapshot, resp.cut);
            admit(key);
            finish_read(txn, key, type, std::move(cb), ReadSource::kDc);
@@ -362,12 +361,12 @@ void EdgeNode::cloud_execute(std::vector<ObjectKey> reads,
   call(config_.dc, proto::kDcExecute,
        proto::DcExecuteReq{std::move(reads), std::move(updates),
                            config_.user},
-       [cb = std::move(cb)](Result<std::any> r) {
+       [cb = std::move(cb)](Result<Bytes> r) {
          if (!r.ok()) {
            cb(r.error());
            return;
          }
-         cb(std::any_cast<const proto::DcExecuteResp&>(r.value()));
+         cb(codec::from_bytes<proto::DcExecuteResp>(r.value()));
        });
 }
 
@@ -382,11 +381,11 @@ void EdgeNode::pump_commits() {
   const Transaction* txn = txns_.find(dot);
   COLONY_ASSERT(txn != nullptr, "unacked dot without record");
   call(config_.dc, proto::kEdgeCommit, proto::EdgeCommitReq{*txn},
-       [this, dot](Result<std::any> r) {
+       [this, dot](Result<Bytes> r) {
          pump_in_flight_ = false;
          if (r.ok()) {
            on_commit_ack(
-               dot, std::any_cast<const proto::EdgeCommitResp&>(r.value()));
+               dot, codec::from_bytes<proto::EdgeCommitResp>(r.value()));
            pump_commits();
            return;
          }
@@ -423,13 +422,12 @@ void EdgeNode::on_commit_ack(const Dot& dot,
 void EdgeNode::subscribe(std::vector<ObjectKey> keys, DoneCb done) {
   const NodeId target = group_ ? group_->parent : config_.dc;
   call(target, proto::kSubscribe, proto::SubscribeReq{keys, config_.user},
-       [this, keys, done = std::move(done)](Result<std::any> r) {
+       [this, keys, done = std::move(done)](Result<Bytes> r) {
          if (!r.ok()) {
            done(r.error());
            return;
          }
-         const auto& resp =
-             std::any_cast<const proto::SubscribeResp&>(r.value());
+         const auto resp = codec::from_bytes<proto::SubscribeResp>(r.value());
          for (const ObjectSnapshot& snap : resp.snapshots) {
            store_.import_snapshot(snap);
            engine_.reapply_missing(snap.key, snap);
@@ -445,13 +443,13 @@ void EdgeNode::subscribe(std::vector<ObjectKey> keys, DoneCb done) {
 void EdgeNode::open_session(std::vector<std::string> buckets, DoneCb done) {
   call(config_.dc, proto::kOpenSession,
        proto::OpenSessionReq{config_.user, std::move(buckets)},
-       [this, done = std::move(done)](Result<std::any> r) {
+       [this, done = std::move(done)](Result<Bytes> r) {
          if (!r.ok()) {
            done(r.error());
            return;
          }
-         const auto& resp =
-             std::any_cast<const proto::OpenSessionResp&>(r.value());
+         const auto resp =
+             codec::from_bytes<proto::OpenSessionResp>(r.value());
          for (const auto& [bucket, key] : resp.keys) {
            session_keys_[bucket] = key;
          }
@@ -471,13 +469,12 @@ void EdgeNode::migrate_to_dc(NodeId new_dc, DoneCb done) {
   call(new_dc, proto::kMigrate,
        proto::MigrateReq{engine_.state_vector(), interest_.keys(),
                          config_.user, engine_.seeded_cut()},
-       [this, done = std::move(done)](Result<std::any> r) {
+       [this, done = std::move(done)](Result<Bytes> r) {
          if (!r.ok()) {
            done(r.error());
            return;
          }
-         const auto& resp =
-             std::any_cast<const proto::MigrateResp&>(r.value());
+         const auto resp = codec::from_bytes<proto::MigrateResp>(r.value());
          if (!resp.compatible) {
            // The new DC is missing our dependencies (section 3.8); the
            // caller may retry once the DC catches up.
@@ -506,13 +503,12 @@ void EdgeNode::join_group(NodeId parent, DoneCb done) {
   call(parent, proto::kGroupJoin,
        proto::GroupJoinReq{id(), config_.user, engine_.state_vector(),
                            interest_.keys()},
-       [this, parent, done = std::move(done)](Result<std::any> r) {
+       [this, parent, done = std::move(done)](Result<Bytes> r) {
          if (!r.ok()) {
            done(r.error());
            return;
          }
-         const auto& resp =
-             std::any_cast<const proto::GroupJoinResp&>(r.value());
+         const auto resp = codec::from_bytes<proto::GroupJoinResp>(r.value());
          if (!resp.accepted) {
            done(Error{Error::Code::kIncompatible,
                       "group parent rejected join (causal incompatibility)"});
@@ -564,7 +560,7 @@ void EdgeNode::leave_group(DoneCb done) {
   const NodeId parent = group_->parent;
   group_.reset();
   call(parent, proto::kGroupLeave, proto::GroupLeaveReq{id()},
-       [done = std::move(done)](Result<std::any> /*r*/) {
+       [done = std::move(done)](Result<Bytes> /*r*/) {
          done(Result<void>{});
        });
   // Fall back to direct DC attachment for any unacknowledged commits.
@@ -666,21 +662,22 @@ void EdgeNode::drain_group_queue() {
 // ---------------------------------------------------------------------------
 
 void EdgeNode::on_message(NodeId from, std::uint32_t kind,
-                          const std::any& body) {
+                          const Bytes& body) {
   (void)from;
   switch (kind) {
     case proto::kPushTxn: {
-      const auto& msg = std::any_cast<const proto::PushTxn&>(body);
-      if (const std::uint64_t ack = push_recv_[from].on_push(msg.session_seq);
-          ack != 0) {
-        tell(from, proto::kPushAck, proto::PushAck{ack});
+      const auto msg = codec::from_bytes<proto::PushTxn>(body);
+      const auto push = push_recv_[from].on_push(msg.session_seq);
+      if (push.ack != 0) {
+        tell(from, proto::kPushAck, proto::PushAck{push.ack});
       }
+      if (!push.deliver) break;  // after-gap: await the sender's rewind
       engine_.ingest(msg.txn);
       drain_group_queue();
       break;
     }
     case proto::kStateUpdate: {
-      const auto& msg = std::any_cast<const proto::StateUpdate&>(body);
+      const auto msg = codec::from_bytes<proto::StateUpdate>(body);
       if (!push_recv_[from].covers(msg.seq_watermark)) {
         // The cut assumes session pushes we have not received (they were
         // lost in a crash window); seeding it would make successors of the
@@ -694,7 +691,7 @@ void EdgeNode::on_message(NodeId from, std::uint32_t kind,
       break;
     }
     case proto::kResolutionRelay: {
-      const auto& msg = std::any_cast<const proto::ResolutionMsg&>(body);
+      const auto msg = codec::from_bytes<proto::ResolutionMsg>(body);
       engine_.resolve_full(msg.dot, msg.dc, msg.ts, msg.resolved_snapshot);
       const auto it = std::find(unacked_.begin(), unacked_.end(), msg.dot);
       if (it != unacked_.end()) unacked_.erase(it);
@@ -714,7 +711,7 @@ void EdgeNode::on_message(NodeId from, std::uint32_t kind,
       break;
     }
     case proto::kGroupMembership: {
-      const auto& msg = std::any_cast<const proto::MembershipMsg&>(body);
+      const auto msg = codec::from_bytes<proto::MembershipMsg>(body);
       if (!group_) break;
       if (std::find(msg.members.begin(), msg.members.end(), id()) ==
           msg.members.end()) {
@@ -728,7 +725,7 @@ void EdgeNode::on_message(NodeId from, std::uint32_t kind,
       break;
     }
     case proto::kEpaxos: {
-      const auto& env = std::any_cast<const proto::EpaxosEnvelope&>(body);
+      const auto env = codec::from_bytes<proto::EpaxosEnvelope>(body);
       if (!group_ || env.epoch != group_->epoch) break;  // stale epoch
       group_->epaxos->on_message(from, env.msg);
       break;
@@ -739,21 +736,21 @@ void EdgeNode::on_message(NodeId from, std::uint32_t kind,
 }
 
 void EdgeNode::on_request(NodeId /*from*/, std::uint32_t method,
-                          const std::any& payload, ReplyFn reply) {
+                          const Bytes& payload, ReplyFn reply) {
   switch (method) {
     case proto::kPeerFetch: {
       // Collaborative cache: serve a neighbour from the local cache.
-      const auto& req = std::any_cast<const proto::PeerFetchReq&>(payload);
+      const auto req = codec::from_bytes<proto::PeerFetchReq>(payload);
       proto::PeerFetchResp resp;
       if (auto snap = store_.export_snapshot(req.key)) {
         resp.found = true;
         resp.snapshot = std::move(*snap);
       }
-      reply(std::any{resp});
+      reply(codec::to_bytes(resp));
       break;
     }
     case proto::kGroupPing:
-      reply(std::any{true});
+      reply(codec::to_bytes(true));
       break;
     default:
       reply(Error{Error::Code::kInvalidArgument, "unknown edge method"});

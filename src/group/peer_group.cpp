@@ -39,10 +39,10 @@ PeerGroupParent::PeerGroupParent(sim::Network& net, NodeId id,
   // this constructor returns.
   net.scheduler().after(10 * kMillisecond, [this] {
     call(config_.dc, proto::kSubscribe, proto::SubscribeReq{{}, 0},
-         [this](Result<std::any> r) {
+         [this](Result<Bytes> r) {
            if (!r.ok()) return;
-           const auto& resp =
-               std::any_cast<const proto::SubscribeResp&>(r.value());
+           const auto resp =
+               codec::from_bytes<proto::SubscribeResp>(r.value());
            engine_.seed_state(resp.cut);
            engine_.drain();
          });
@@ -52,8 +52,8 @@ PeerGroupParent::PeerGroupParent(sim::Network& net, NodeId id,
 void PeerGroupParent::heartbeat_tick() {
   for (const NodeId m : std::vector<NodeId>(members_.begin(),
                                             members_.end())) {
-    call(m, proto::kGroupPing, std::any{},
-         [this, m](Result<std::any> r) {
+    call(m, proto::kGroupPing, Bytes{},
+         [this, m](Result<Bytes> r) {
            if (r.ok()) {
              missed_heartbeats_[m] = 0;
              return;
@@ -97,7 +97,7 @@ void PeerGroupParent::handle_join(NodeId from, const proto::GroupJoinReq& req,
   // join is refused; the client may retry once the parent catches up.
   if (!req.state.leq(engine_.state_vector())) {
     resp.accepted = false;
-    reply(std::any{resp});
+    reply(codec::to_bytes(resp));
     return;
   }
   members_.insert(req.node);
@@ -113,7 +113,7 @@ void PeerGroupParent::handle_join(NodeId from, const proto::GroupJoinReq& req,
   resp.members = members();
   keys_.authorize("_group", req.user);
   resp.session_key = keys_.key_for("_group", req.user).value_or(0);
-  reply(std::any{resp});
+  reply(codec::to_bytes(resp));
   broadcast_membership();
   rebuild_epaxos();
   (void)from;
@@ -225,11 +225,11 @@ void PeerGroupParent::pump_forward() {
     forward_queue_.pop_front();
     in_flight_.insert(dot);
     call(config_.dc, proto::kEdgeCommit, proto::EdgeCommitReq{*txn},
-         [this, dot](Result<std::any> r) {
+         [this, dot](Result<Bytes> r) {
            in_flight_.erase(dot);
            if (r.ok()) {
-             const auto& resp =
-                 std::any_cast<const proto::EdgeCommitResp&>(r.value());
+             const auto resp =
+                 codec::from_bytes<proto::EdgeCommitResp>(r.value());
              engine_.resolve_full(dot, resp.dc, resp.ts,
                                   resp.resolved_snapshot);
              forwarded_.insert(dot);
@@ -270,14 +270,13 @@ void PeerGroupParent::migrate_to_dc(NodeId new_dc, DoneCb done) {
   call(new_dc, proto::kMigrate,
        proto::MigrateReq{engine_.state_vector(), std::move(interest), 0,
                          engine_.seeded_cut()},
-       [this, old_dc, done = std::move(done)](Result<std::any> r) {
+       [this, old_dc, done = std::move(done)](Result<Bytes> r) {
          if (!r.ok()) {
            config_.dc = old_dc;
            done(r.error());
            return;
          }
-         const auto& resp =
-             std::any_cast<const proto::MigrateResp&>(r.value());
+         const auto resp = codec::from_bytes<proto::MigrateResp>(r.value());
          if (!resp.compatible) {
            // The new DC lacks our causal past (section 3.8); stay put and
            // let the caller retry once replication catches up.
@@ -304,7 +303,7 @@ void PeerGroupParent::ensure_dc_interest(const ObjectKey& key) {
   if (dc_interest_.contains(key)) return;
   dc_interest_.insert(key);
   call(config_.dc, proto::kFetchObject, proto::FetchReq{key, true, 0},
-       [this, key](Result<std::any> r) {
+       [this, key](Result<Bytes> r) {
          if (!r.ok()) {
            if (r.error().code == Error::Code::kUnavailable) {
              // Offline: forget the registration so the next miss (or the
@@ -316,7 +315,7 @@ void PeerGroupParent::ensure_dc_interest(const ObjectKey& key) {
            }
            return;  // kNotFound: a fresh object, nothing to seed
          }
-         const auto& resp = std::any_cast<const proto::FetchResp&>(r.value());
+         const auto resp = codec::from_bytes<proto::FetchResp>(r.value());
          store_.import_snapshot(resp.snapshot);
          engine_.reapply_missing(resp.snapshot.key, resp.snapshot);
          engine_.seed_state(resp.cut);
@@ -359,7 +358,7 @@ void PeerGroupParent::handle_member_subscribe(NodeId from,
       resp.snapshots.push_back(std::move(*snap));
     }
   }
-  reply(std::any{resp});
+  reply(codec::to_bytes(resp));
 }
 
 void PeerGroupParent::handle_peer_fetch(NodeId from,
@@ -374,7 +373,7 @@ void PeerGroupParent::handle_peer_fetch(NodeId from,
     member_interest_[req.member == 0 ? from : req.member].insert(req.key);
     ensure_dc_interest(req.key);  // background fill on a miss
   }
-  reply(std::any{resp});
+  reply(codec::to_bytes(resp));
 }
 
 // ---------------------------------------------------------------------------
@@ -382,27 +381,28 @@ void PeerGroupParent::handle_peer_fetch(NodeId from,
 // ---------------------------------------------------------------------------
 
 void PeerGroupParent::on_message(NodeId from, std::uint32_t kind,
-                                 const std::any& body) {
+                                 const Bytes& body) {
   switch (kind) {
     case proto::kEpaxos: {
-      const auto& env = std::any_cast<const proto::EpaxosEnvelope&>(body);
+      const auto env = codec::from_bytes<proto::EpaxosEnvelope>(body);
       if (env.epoch != epoch_) break;
       epaxos_->on_message(from, env.msg);
       break;
     }
     case proto::kPushTxn: {
-      const auto& msg = std::any_cast<const proto::PushTxn&>(body);
-      if (const std::uint64_t ack = dc_recv_.on_push(msg.session_seq);
-          ack != 0) {
-        tell(from, proto::kPushAck, proto::PushAck{ack});
+      const auto msg = codec::from_bytes<proto::PushTxn>(body);
+      const auto push = dc_recv_.on_push(msg.session_seq);
+      if (push.ack != 0) {
+        tell(from, proto::kPushAck, proto::PushAck{push.ack});
       }
+      if (!push.deliver) break;  // after-gap: await the sender's rewind
       engine_.ingest(msg.txn);
       drain_apply_queue();
       relay_push(msg.txn);
       break;
     }
     case proto::kStateUpdate: {
-      const auto& msg = std::any_cast<const proto::StateUpdate&>(body);
+      const auto msg = codec::from_bytes<proto::StateUpdate>(body);
       if (!dc_recv_.covers(msg.seq_watermark)) break;  // lost-push window
       engine_.seed_state(msg.cut);
       engine_.drain();
@@ -417,7 +417,7 @@ void PeerGroupParent::on_message(NodeId from, std::uint32_t kind,
       break;
     }
     case proto::kUnsubscribe: {
-      const auto& msg = std::any_cast<const proto::UnsubscribeMsg&>(body);
+      const auto msg = codec::from_bytes<proto::UnsubscribeMsg>(body);
       const auto it = member_interest_.find(from);
       if (it != member_interest_.end()) {
         for (const ObjectKey& key : msg.keys) it->second.erase(key);
@@ -425,7 +425,7 @@ void PeerGroupParent::on_message(NodeId from, std::uint32_t kind,
       break;
     }
     case proto::kInterestUpdate: {
-      const auto& msg = std::any_cast<const proto::InterestUpdate&>(body);
+      const auto msg = codec::from_bytes<proto::InterestUpdate>(body);
       auto& interest = member_interest_[msg.node];
       for (const ObjectKey& key : msg.keys) {
         interest.insert(key);
@@ -439,31 +439,31 @@ void PeerGroupParent::on_message(NodeId from, std::uint32_t kind,
 }
 
 void PeerGroupParent::on_request(NodeId from, std::uint32_t method,
-                                 const std::any& payload, ReplyFn reply) {
+                                 const Bytes& payload, ReplyFn reply) {
   switch (method) {
     case proto::kGroupJoin:
-      handle_join(from, std::any_cast<const proto::GroupJoinReq&>(payload),
+      handle_join(from, codec::from_bytes<proto::GroupJoinReq>(payload),
                   std::move(reply));
       break;
     case proto::kGroupLeave:
-      handle_leave(std::any_cast<const proto::GroupLeaveReq&>(payload));
-      reply(std::any{true});
+      handle_leave(codec::from_bytes<proto::GroupLeaveReq>(payload));
+      reply(codec::to_bytes(true));
       break;
     case proto::kSubscribe:
       handle_member_subscribe(
-          from, std::any_cast<const proto::SubscribeReq&>(payload),
+          from, codec::from_bytes<proto::SubscribeReq>(payload),
           std::move(reply));
       break;
     case proto::kPeerFetch:
       handle_peer_fetch(from,
-                        std::any_cast<const proto::PeerFetchReq&>(payload),
+                        codec::from_bytes<proto::PeerFetchReq>(payload),
                         std::move(reply));
       break;
     case proto::kGroupCatchup: {
       proto::CatchupResp resp;
       resp.instances = epaxos_->committed_instances();
       resp.cut = engine_.state_vector();
-      reply(std::any{resp});
+      reply(codec::to_bytes(resp));
       break;
     }
     default:

@@ -32,6 +32,10 @@ const char* to_string(ChaosEventType t) {
       return "migrate-edge";
     case ChaosEventType::kHealAll:
       return "heal-all";
+    case ChaosEventType::kCorruptOn:
+      return "corrupt-on";
+    case ChaosEventType::kCorruptOff:
+      return "corrupt-off";
   }
   return "?";
 }
@@ -53,6 +57,7 @@ enum Class : std::size_t {
   kClassCrash,
   kClassDuplicate,
   kClassReorder,
+  kClassCorrupt,
   kClassSkew,
   kClassMigrate,
   kNumClasses,
@@ -74,6 +79,7 @@ ChaosSchedule ChaosSchedule::generate(const ChaosConfig& config,
   weights[kClassCrash] = config.w_crash;
   weights[kClassDuplicate] = config.w_duplicate;
   weights[kClassReorder] = config.w_reorder;
+  weights[kClassCorrupt] = config.w_corrupt;
   weights[kClassSkew] = topo.edges.empty() ? 0 : config.w_skew;
   weights[kClassMigrate] =
       (topo.dcs.size() >= 2 && !topo.edges.empty()) ? config.w_migrate : 0;
@@ -158,6 +164,16 @@ ChaosSchedule ChaosSchedule::generate(const ChaosConfig& config,
           if (const auto off = outage(t, end)) {
             schedule.events.push_back(
                 {*off, ChaosEventType::kReorderOff, 0, 0, 0});
+          }
+          break;
+        }
+        case kClassCorrupt: {
+          const std::uint64_t ppm = rng.between(1, config.max_corrupt_ppm);
+          schedule.events.push_back(
+              {t, ChaosEventType::kCorruptOn, 0, 0, ppm});
+          if (const auto off = outage(t, end)) {
+            schedule.events.push_back(
+                {*off, ChaosEventType::kCorruptOff, 0, 0, 0});
           }
           break;
         }
@@ -297,6 +313,12 @@ void ChaosRunner::apply(const ChaosEvent& event) {
     case ChaosEventType::kReorderOff:
       net_.set_reorder_rate(0);
       break;
+    case ChaosEventType::kCorruptOn:
+      net_.set_corrupt_rate(static_cast<double>(event.arg) / 1e6);
+      break;
+    case ChaosEventType::kCorruptOff:
+      net_.set_corrupt_rate(0);
+      break;
     case ChaosEventType::kClockSkew:
       net_.set_clock_skew(event.a, event.arg);
       skewed_.push_back(event.a);
@@ -314,6 +336,7 @@ void ChaosRunner::reset() {
   net_.heal();
   net_.set_duplicate_rate(0);
   net_.set_reorder_rate(0);
+  net_.set_corrupt_rate(0);
   for (const NodeId node : skewed_) net_.set_clock_skew(node, 0);
   skewed_.clear();
 }

@@ -36,6 +36,8 @@ enum class ChaosEventType : std::uint8_t {
   kClockSkew = 8,    // node a's clock skewed forward by arg microseconds
   kMigrateEdge = 9,  // edge node a migrates to DC index arg
   kHealAll = 10,     // epoch barrier: heal, quiesce, audit invariants
+  kCorruptOn = 11,   // payload-corruption window opens; arg = rate in ppm
+  kCorruptOff = 12,
 };
 
 [[nodiscard]] const char* to_string(ChaosEventType t);
@@ -76,6 +78,7 @@ struct ChaosConfig {
   double w_crash = 2.0;      // node crash/recover: DC or edge
   double w_duplicate = 2.0;  // message duplication window
   double w_reorder = 2.0;    // message reordering window
+  double w_corrupt = 2.0;    // payload-corruption window (checksum drops)
   double w_skew = 1.0;       // clock skew on an edge
   double w_migrate = 1.0;    // edge migrates to another DC
 
@@ -86,6 +89,7 @@ struct ChaosConfig {
   /// Ceilings for the randomized injection parameters.
   std::uint64_t max_dup_ppm = 200'000;      // <= 20% duplication
   std::uint64_t max_reorder_ppm = 200'000;  // <= 20% reordering
+  std::uint64_t max_corrupt_ppm = 100'000;  // <= 10% frame corruption
   std::uint64_t max_skew_us = 2'000'000;    // <= 2 s clock skew
 };
 

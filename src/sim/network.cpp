@@ -1,16 +1,57 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/assert.hpp"
 
 namespace colony::sim {
+
+namespace frame {
+
+Bytes encode(std::uint32_t kind, const Bytes& payload) {
+  Encoder enc;
+  enc.u32(kind);
+  enc.u32(static_cast<std::uint32_t>(payload.size()));
+  enc.raw(payload);
+  Bytes frm = enc.take();
+  const std::uint32_t crc = crc32(frm);
+  Encoder trailer;
+  trailer.u32(crc);
+  frm.insert(frm.end(), trailer.data().begin(), trailer.data().end());
+  return frm;
+}
+
+std::optional<View> decode(const Bytes& frm) {
+  if (frm.size() < kOverheadBytes) return std::nullopt;
+  Decoder dec(frm);
+  View view;
+  view.kind = dec.u32();
+  const std::uint32_t len = dec.u32();
+  if (len != frm.size() - kOverheadBytes) return std::nullopt;
+  const std::uint32_t expected = crc32(frm.data(), frm.size() - kTrailerBytes);
+  std::uint32_t stored;
+  std::memcpy(&stored, frm.data() + frm.size() - kTrailerBytes,
+              sizeof(stored));
+  if (stored != expected) return std::nullopt;
+  view.payload.assign(frm.begin() + static_cast<std::ptrdiff_t>(kHeaderBytes),
+                      frm.end() - static_cast<std::ptrdiff_t>(kTrailerBytes));
+  return view;
+}
+
+}  // namespace frame
 
 SimTime LatencyModel::sample(Rng& rng) const {
   if (jitter == 0) return std::max<SimTime>(mean, 1);
   const SimTime lo = mean > jitter ? mean - jitter : 1;
   const SimTime hi = mean + jitter;
   return std::max<SimTime>(rng.between(lo, hi), 1);
+}
+
+SimTime LatencyModel::transmission_delay(std::size_t frame_bytes) const {
+  if (bytes_per_us <= 0.0) return 0;
+  return static_cast<SimTime>(
+      std::ceil(static_cast<double>(frame_bytes) / bytes_per_us));
 }
 
 Actor::Actor(Network& net, NodeId id) : net_(net), id_(id) {
@@ -84,7 +125,7 @@ bool Network::link_up(NodeId a, NodeId b) const {
 }
 
 void Network::send(NodeId from, NodeId to, std::uint32_t kind,
-                   std::any body) {
+                   Bytes payload) {
   if (!node_up(from) || !node_up(to)) {
     ++dropped_;
     return;
@@ -94,11 +135,29 @@ void Network::send(NodeId from, NodeId to, std::uint32_t kind,
     ++dropped_;
     return;
   }
+
+  Bytes frm = frame::encode(kind, payload);
+  // Meter every frame handed to a live link, attributed to the protocol
+  // kind (RPC envelope flags stripped). Loss/corruption happen in flight,
+  // after the sender already paid the bytes.
+  wire_stats_.record(from, to, kind & kRpcKindMask, frm.size());
+
+  if (corrupt_rate_ > 0 && rng_.chance(corrupt_rate_)) {
+    ++corrupted_;
+    const std::uint64_t flips = rng_.between(1, 4);
+    for (std::uint64_t i = 0; i < flips; ++i) {
+      frm[rng_.below(frm.size())] ^=
+          static_cast<std::uint8_t>(rng_.between(1, 255));
+    }
+  }
+
   if (link->model.loss_rate > 0 && rng_.chance(link->model.loss_rate)) {
     ++dropped_;
     return;
   }
-  SimTime deliver_at = sched_.now() + link->model.sample(rng_);
+
+  SimTime deliver_at = sched_.now() + link->model.sample(rng_) +
+                       link->model.transmission_delay(frm.size());
   // FIFO per link: a later send is never delivered before an earlier one —
   // unless reorder injection exempts this message, in which case it is held
   // back without advancing the FIFO watermark so later sends overtake it.
@@ -116,14 +175,14 @@ void Network::send(NodeId from, NodeId to, std::uint32_t kind,
   if (duplicate_rate_ > 0 && rng_.chance(duplicate_rate_)) {
     ++duplicated_;
     const SimTime extra = rng_.between(1, 2 * link->model.mean);
-    deliver(from, to, kind, body, deliver_at + extra);
+    wire_stats_.record(from, to, kind & kRpcKindMask, frm.size());
+    deliver(from, to, frm, deliver_at + extra);
   }
-  deliver(from, to, kind, std::move(body), deliver_at);
+  deliver(from, to, std::move(frm), deliver_at);
 }
 
-void Network::deliver(NodeId from, NodeId to, std::uint32_t kind,
-                      std::any body, SimTime when) {
-  sched_.at(when, [this, from, to, kind, body = std::move(body)]() mutable {
+void Network::deliver(NodeId from, NodeId to, Bytes frm, SimTime when) {
+  sched_.at(when, [this, from, to, frm = std::move(frm)]() {
     // Re-check liveness at delivery time: a node that crashed in flight
     // does not receive the message.
     if (!node_up(to)) {
@@ -135,8 +194,17 @@ void Network::deliver(NodeId from, NodeId to, std::uint32_t kind,
       ++dropped_;
       return;
     }
+    // Verify the checksum at the receiver: a frame damaged in flight is
+    // detected and dropped — corruption degrades to loss, which the upper
+    // layers already handle (timeouts, session rewind).
+    const auto view = frame::decode(frm);
+    if (!view) {
+      ++dropped_;
+      ++corruption_detected_;
+      return;
+    }
     ++delivered_;
-    it->second->handle(from, kind, body);
+    it->second->handle(from, view->kind, view->payload);
   });
 }
 

@@ -1,49 +1,96 @@
 // Simulated network: point-to-point links with configurable latency,
-// jitter, loss and partitions.
+// jitter, bandwidth, loss and partitions.
 //
 // This substitutes for the paper's testbed transport (RabbitMQ between DCs,
-// WebRTC between peers, `tc`-shaped latencies; section 7.2). Links preserve
+// WebRTC between peers, `tc`-shaped latencies; section 7.2). Every message
+// crosses a link as a length-prefixed, checksummed byte frame
+// `[kind u32 | len u32 | payload | crc32 u32]`: senders encode, receivers
+// decode, so wire sizes are measured truth (per-link and per-kind counters)
+// and transmission delay can be charged as size/throughput. Links preserve
 // per-link FIFO order (TCP-like); a downed link or node silently drops
-// traffic, which upper layers detect via RPC timeouts — exactly the failure
-// signal the real system would see.
+// traffic, and a corrupted frame fails its checksum at delivery and is
+// dropped too — upper layers see both as loss and recover via RPC timeouts
+// or session-channel rewind, exactly the failure signal the real system
+// would see.
 #pragma once
 
-#include <any>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <set>
 #include <unordered_map>
 
 #include "sim/scheduler.hpp"
+#include "util/binary_codec.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
 namespace colony::sim {
 
-/// Latency model of one link class.
+/// RPC envelope flag bits, OR-ed onto the protocol kind by the RPC layer so
+/// the transport can attribute request/response bytes to the real protocol
+/// method (`kind & kRpcKindMask`) in its per-kind counters. Protocol kinds
+/// must stay below both flags.
+inline constexpr std::uint32_t kRpcRequestFlag = 0x8000'0000u;
+inline constexpr std::uint32_t kRpcResponseFlag = 0x4000'0000u;
+inline constexpr std::uint32_t kRpcKindMask = 0x3FFF'FFFFu;
+
+/// Frame layout of the byte transport.
+namespace frame {
+
+inline constexpr std::size_t kHeaderBytes = 8;   // kind u32 + length u32
+inline constexpr std::size_t kTrailerBytes = 4;  // crc32 of header+payload
+inline constexpr std::size_t kOverheadBytes = kHeaderBytes + kTrailerBytes;
+
+/// Seal a payload into a checksummed frame.
+[[nodiscard]] Bytes encode(std::uint32_t kind, const Bytes& payload);
+
+struct View {
+  std::uint32_t kind = 0;
+  Bytes payload;
+};
+
+/// Validate and open a frame: nullopt on truncation, a length prefix that
+/// disagrees with the frame size, or a checksum mismatch — i.e. any flipped
+/// bit is detected and surfaces as loss, never as a wrong value.
+[[nodiscard]] std::optional<View> decode(const Bytes& frm);
+
+}  // namespace frame
+
+/// Latency/bandwidth model of one link class.
 struct LatencyModel {
   SimTime mean = kMillisecond;
   SimTime jitter = 0;      // +- uniform jitter, clamped at >= 1us
   double loss_rate = 0.0;  // independent per-message loss
+  /// Link throughput in bytes per microsecond; 0 models an unmetered link.
+  /// Transmission delay = frame size / throughput, charged on top of the
+  /// propagation latency above.
+  double bytes_per_us = 0.0;
 
   [[nodiscard]] SimTime sample(Rng& rng) const;
+  [[nodiscard]] SimTime transmission_delay(std::size_t frame_bytes) const;
 };
 
-/// The paper's latency constants (section 7.2).
+/// The paper's link classes (section 7.2): latency as measured in the
+/// authors' testbed, throughput from the corresponding transport class.
 namespace latency {
-/// Intra-cluster / intra-DC: 0.15 ms measured in the authors' cluster.
-inline constexpr LatencyModel kIntraDc{150 * kMicrosecond, 50 * kMicrosecond};
-/// Inter-DC (geo mesh): carrier-grade tens of ms.
-inline constexpr LatencyModel kInterDc{30 * kMillisecond, 5 * kMillisecond};
-/// Carrier Ethernet edge uplink: 10 ms mean.
+/// Intra-cluster / intra-DC: 0.15 ms, 10 Gbps datacentre fabric.
+inline constexpr LatencyModel kIntraDc{150 * kMicrosecond, 50 * kMicrosecond,
+                                       0.0, 1250.0};
+/// Inter-DC (geo mesh): carrier-grade tens of ms, ~1 Gbps WAN.
+inline constexpr LatencyModel kInterDc{30 * kMillisecond, 5 * kMillisecond,
+                                       0.0, 125.0};
+/// Carrier Ethernet edge uplink: 10 ms mean, ~100 Mbps.
 inline constexpr LatencyModel kCarrierEthernet{10 * kMillisecond,
-                                               2 * kMillisecond};
-/// Mobile cellular uplink: 50 ms mean.
-inline constexpr LatencyModel kCellular{50 * kMillisecond, 10 * kMillisecond};
-/// Peer-to-peer WebRTC link inside a peer group (close proximity).
-inline constexpr LatencyModel kPeerLink{2 * kMillisecond,
-                                        500 * kMicrosecond};
+                                               2 * kMillisecond, 0.0, 12.5};
+/// Mobile cellular uplink: 50 ms mean, ~20 Mbps.
+inline constexpr LatencyModel kCellular{50 * kMillisecond, 10 * kMillisecond,
+                                        0.0, 2.5};
+/// Peer-to-peer WebRTC link inside a peer group (close proximity, ~50 Mbps).
+inline constexpr LatencyModel kPeerLink{2 * kMillisecond, 500 * kMicrosecond,
+                                        0.0, 6.25};
 /// Local loopback (a node talking to itself, e.g. cache hit path).
 inline constexpr LatencyModel kLoopback{10 * kMicrosecond, 0};
 }  // namespace latency
@@ -51,8 +98,7 @@ inline constexpr LatencyModel kLoopback{10 * kMicrosecond, 0};
 class Network;
 
 /// Base class of every simulated process (DC server, edge device, group
-/// parent...). Subclasses implement `handle` for one-way messages and
-/// `handle_request` for RPCs.
+/// parent...). Subclasses implement `handle` for decoded frames.
 class Actor {
  public:
   Actor(Network& net, NodeId id);
@@ -66,8 +112,9 @@ class Actor {
  protected:
   friend class Network;
 
-  virtual void handle(NodeId from, std::uint32_t kind,
-                      const std::any& body) = 0;
+  /// A checksum-verified frame: `body` is the payload bytes, which the
+  /// actor decodes according to `kind` (decode-at-receive on every hop).
+  virtual void handle(NodeId from, std::uint32_t kind, const Bytes& body) = 0;
 
   Network& net_;
 
@@ -75,7 +122,7 @@ class Actor {
   NodeId id_;
 };
 
-/// The network fabric: actor registry, link table, message delivery.
+/// The network fabric: actor registry, link table, frame delivery.
 class Network {
  public:
   Network(Scheduler& sched, std::uint64_t seed)
@@ -96,9 +143,10 @@ class Network {
   void set_node_up(NodeId node, bool up);
   [[nodiscard]] bool node_up(NodeId node) const;
 
-  /// Send a one-way message. Drops silently if no link, link down, either
+  /// Send a one-way message: the payload is sealed into a checksummed
+  /// frame and metered. Drops silently if no link, link down, either
   /// endpoint down, or the loss dice say so.
-  void send(NodeId from, NodeId to, std::uint32_t kind, std::any body);
+  void send(NodeId from, NodeId to, std::uint32_t kind, Bytes payload);
 
   // --- fault injection (chaos testing) -----------------------------------
 
@@ -123,6 +171,11 @@ class Network {
     reorder_filter_ = std::move(filter);
   }
 
+  /// Independently per message, flip 1-4 random bytes of the frame in
+  /// flight. The checksum catches the damage at delivery, so a corrupted
+  /// frame surfaces to upper layers as loss — never as a wrong value.
+  void set_corrupt_rate(double rate) { corrupt_rate_ = rate; }
+
   /// Skew a node's physical clock by `offset` sim-time units (only ever
   /// forward; the HLC tolerates arbitrary skew). Read via local_now().
   void set_clock_skew(NodeId node, SimTime offset);
@@ -138,6 +191,19 @@ class Network {
     return duplicated_;
   }
   [[nodiscard]] std::uint64_t messages_reordered() const { return reordered_; }
+  /// Frames damaged by corruption injection (at send time).
+  [[nodiscard]] std::uint64_t messages_corrupted() const { return corrupted_; }
+  /// Frames rejected by the delivery-time checksum. Every detection also
+  /// counts as a drop; detected <= corrupted (a corrupted frame may be
+  /// lost or crash-dropped before its checksum is ever checked).
+  [[nodiscard]] std::uint64_t corruptions_detected() const {
+    return corruption_detected_;
+  }
+
+  /// Measured per-link / per-kind byte counters of every frame handed to a
+  /// live link (duplicate copies included; they occupy the wire too).
+  [[nodiscard]] const WireStats& wire_stats() const { return wire_stats_; }
+  WireStats& wire_stats() { return wire_stats_; }
 
   [[nodiscard]] bool link_exists(NodeId a, NodeId b) const;
   [[nodiscard]] bool link_up(NodeId a, NodeId b) const;
@@ -157,8 +223,7 @@ class Network {
   Link* find_link(NodeId from, NodeId to);
   [[nodiscard]] const Link* find_link(NodeId from, NodeId to) const;
 
-  void deliver(NodeId from, NodeId to, std::uint32_t kind, std::any body,
-               SimTime when);
+  void deliver(NodeId from, NodeId to, Bytes frm, SimTime when);
 
   Scheduler& sched_;
   Rng rng_;
@@ -168,12 +233,16 @@ class Network {
   std::unordered_map<NodeId, SimTime> clock_skew_;
   double duplicate_rate_ = 0.0;
   double reorder_rate_ = 0.0;
+  double corrupt_rate_ = 0.0;
   LinkFilter reorder_filter_;
   SimTime reorder_max_extra_ = 20 * kMillisecond;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t duplicated_ = 0;
   std::uint64_t reordered_ = 0;
+  std::uint64_t corrupted_ = 0;
+  std::uint64_t corruption_detected_ = 0;
+  WireStats wire_stats_;
 };
 
 }  // namespace colony::sim

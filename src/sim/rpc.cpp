@@ -4,13 +4,16 @@
 
 namespace colony::sim {
 
-void RpcActor::call(NodeId to, std::uint32_t method, std::any payload,
+void RpcActor::call(NodeId to, std::uint32_t method, Bytes payload,
                     ResponseFn on_response, SimTime timeout) {
+  COLONY_ASSERT((method & ~kRpcKindMask) == 0, "method collides with flags");
   const std::uint64_t rpc_id = next_rpc_id_++;
   pending_.emplace(rpc_id, std::move(on_response));
 
-  net_.send(id(), to, kRpcRequestKind,
-            RequestBody{rpc_id, method, std::move(payload)});
+  Encoder enc;
+  enc.u64(rpc_id);
+  enc.raw(payload);
+  net_.send(id(), to, method | kRpcRequestFlag, enc.take());
 
   net_.scheduler().after(timeout, [this, rpc_id] {
     const auto it = pending_.find(rpc_id);
@@ -21,33 +24,44 @@ void RpcActor::call(NodeId to, std::uint32_t method, std::any payload,
   });
 }
 
-void RpcActor::handle(NodeId from, std::uint32_t kind, const std::any& body) {
-  if (kind == kRpcRequestKind) {
-    const auto& req = std::any_cast<const RequestBody&>(body);
-    const std::uint64_t rpc_id = req.rpc_id;
+void RpcActor::handle(NodeId from, std::uint32_t kind, const Bytes& body) {
+  if ((kind & kRpcRequestFlag) != 0) {
+    Decoder dec(body);
+    const std::uint64_t rpc_id = dec.u64();
+    Bytes payload = dec.tail();
+    COLONY_ASSERT(dec.ok(), "malformed rpc request envelope");
+    const std::uint32_t method = kind & kRpcKindMask;
     const NodeId client = from;
-    auto reply = [this, client, rpc_id](Result<std::any> result) {
+    auto reply = [this, client, rpc_id, method](Result<Bytes> result) {
+      Encoder enc;
+      enc.u64(rpc_id);
+      enc.boolean(result.ok());
       if (result.ok()) {
-        net_.send(id(), client, kRpcResponseKind,
-                  ResponseBody{rpc_id, true, std::move(result).value(), {}});
+        enc.raw(result.value());
       } else {
-        net_.send(id(), client, kRpcResponseKind,
-                  ResponseBody{rpc_id, false, {}, result.error().message});
+        const std::string& msg = result.error().message;
+        enc.raw(Bytes(msg.begin(), msg.end()));
       }
+      net_.send(id(), client, method | kRpcResponseFlag, enc.take());
     };
-    on_request(from, req.method, req.payload, std::move(reply));
+    on_request(from, method, payload, std::move(reply));
     return;
   }
-  if (kind == kRpcResponseKind) {
-    const auto& resp = std::any_cast<const ResponseBody&>(body);
-    const auto it = pending_.find(resp.rpc_id);
+  if ((kind & kRpcResponseFlag) != 0) {
+    Decoder dec(body);
+    const std::uint64_t rpc_id = dec.u64();
+    const bool ok = dec.boolean();
+    Bytes payload = dec.tail();
+    COLONY_ASSERT(dec.ok(), "malformed rpc response envelope");
+    const auto it = pending_.find(rpc_id);
     if (it == pending_.end()) return;  // timed out earlier; drop late reply
     ResponseFn cb = std::move(it->second);
     pending_.erase(it);
-    if (resp.ok) {
-      cb(resp.payload);
+    if (ok) {
+      cb(std::move(payload));
     } else {
-      cb(Error{Error::Code::kUnavailable, resp.error});
+      cb(Error{Error::Code::kUnavailable,
+               std::string(payload.begin(), payload.end())});
     }
     return;
   }

@@ -1,70 +1,78 @@
-// Asynchronous RPC over the simulated network.
+// Asynchronous RPC over the simulated byte transport.
 //
 // Request/response with correlation ids and timeouts. Servers may answer
 // asynchronously (e.g. a DC coordinator replies only after 2PC finishes) by
 // capturing the ReplyFn. A lost message or dead peer surfaces to the caller
 // as Error::kUnavailable after the timeout — the same signal a TCP/WebRTC
 // stack would deliver, which is what drives reconnection and migration.
+//
+// RPC traffic rides the same framed byte transport as one-way messages:
+// the envelope sets a flag bit on the wire kind (`method | kRpcRequestFlag`
+// or `| kRpcResponseFlag`) so per-kind byte metering attributes request and
+// response bytes to the real protocol method, and the envelope body is
+// `[rpc_id u64 | payload]` for requests, `[rpc_id u64 | ok u8 |
+// payload-or-error-string]` for responses.
 #pragma once
 
-#include <any>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "sim/network.hpp"
+#include "util/codec.hpp"
 #include "util/result.hpp"
 
 namespace colony::sim {
-
-/// Message kinds reserved by the RPC plumbing; protocol kinds must be below.
-inline constexpr std::uint32_t kRpcRequestKind = 0xFFFF0001;
-inline constexpr std::uint32_t kRpcResponseKind = 0xFFFF0002;
 
 inline constexpr SimTime kDefaultRpcTimeout = 2 * kSecond;
 
 class RpcActor : public Actor {
  public:
-  using ResponseFn = std::function<void(Result<std::any>)>;
-  using ReplyFn = std::function<void(Result<std::any>)>;
+  using ResponseFn = std::function<void(Result<Bytes>)>;
+  using ReplyFn = std::function<void(Result<Bytes>)>;
 
   RpcActor(Network& net, NodeId id) : Actor(net, id) {}
 
-  /// Issue an RPC. `on_response` fires exactly once: with the reply, or
-  /// with kUnavailable when the timeout elapses first.
-  void call(NodeId to, std::uint32_t method, std::any payload,
+  /// Issue an RPC with pre-encoded payload bytes. `on_response` fires
+  /// exactly once: with the reply payload, or with kUnavailable when the
+  /// timeout elapses first.
+  void call(NodeId to, std::uint32_t method, Bytes payload,
             ResponseFn on_response, SimTime timeout = kDefaultRpcTimeout);
 
-  /// Fire-and-forget message.
-  void tell(NodeId to, std::uint32_t kind, std::any body) {
+  /// Issue an RPC with a typed request message (encoded via codec traits).
+  template <typename Req>
+  void call(NodeId to, std::uint32_t method, const Req& req,
+            ResponseFn on_response, SimTime timeout = kDefaultRpcTimeout) {
+    call(to, method, codec::to_bytes(req), std::move(on_response), timeout);
+  }
+
+  /// Fire-and-forget message with pre-encoded payload bytes.
+  void tell(NodeId to, std::uint32_t kind, Bytes body) {
     net_.send(id(), to, kind, std::move(body));
   }
 
- protected:
-  /// One-way messages (kinds outside the RPC plumbing).
-  virtual void on_message(NodeId from, std::uint32_t kind,
-                          const std::any& body) = 0;
+  /// Fire-and-forget message with a typed body.
+  template <typename Msg>
+  void tell(NodeId to, std::uint32_t kind, const Msg& msg) {
+    tell(to, kind, codec::to_bytes(msg));
+  }
 
-  /// Incoming RPC. Implementations must eventually invoke `reply` (calling
-  /// it after the client timed out is harmless — the client ignores it).
+ protected:
+  /// One-way messages (no RPC envelope flag). `body` is the payload of a
+  /// checksum-verified frame; implementations decode it by `kind`.
+  virtual void on_message(NodeId from, std::uint32_t kind,
+                          const Bytes& body) = 0;
+
+  /// Incoming RPC. Implementations must eventually invoke `reply` with the
+  /// encoded response (calling it after the client timed out is harmless —
+  /// the client ignores it).
   virtual void on_request(NodeId from, std::uint32_t method,
-                          const std::any& payload, ReplyFn reply) = 0;
+                          const Bytes& payload, ReplyFn reply) = 0;
 
  private:
-  struct RequestBody {
-    std::uint64_t rpc_id;
-    std::uint32_t method;
-    std::any payload;
-  };
-  struct ResponseBody {
-    std::uint64_t rpc_id;
-    bool ok;
-    std::any payload;       // valid when ok
-    std::string error;      // valid when !ok
-  };
-
-  void handle(NodeId from, std::uint32_t kind, const std::any& body) final;
+  void handle(NodeId from, std::uint32_t kind, const Bytes& body) final;
 
   std::uint64_t next_rpc_id_ = 1;
   std::unordered_map<std::uint64_t, ResponseFn> pending_;

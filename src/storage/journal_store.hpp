@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <tuple>
 #include <unordered_set>
 #include <vector>
 
@@ -35,6 +36,9 @@ struct ObjectSnapshot {
   CrdtType type{};
   Bytes state;
   std::vector<Dot> applied;  // dots reflected in `state`
+
+  bool operator==(const ObjectSnapshot&) const = default;
+  auto fields() { return std::tie(key, type, state, applied); }
 };
 
 class JournalStore {

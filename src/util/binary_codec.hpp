@@ -5,6 +5,7 @@
 // message sizes reported by the metadata ablation bench reflect it.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -15,6 +16,33 @@
 namespace colony {
 
 using Bytes = std::vector<std::uint8_t>;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `n` bytes.
+/// Used as the frame checksum of the simulated transport: flipped bits on a
+/// link must be *detected* and surface as loss, never as a wrong value.
+[[nodiscard]] inline std::uint32_t crc32(const std::uint8_t* data,
+                                         std::size_t n) {
+  static constexpr auto kTable = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+[[nodiscard]] inline std::uint32_t crc32(const Bytes& data) {
+  return crc32(data.data(), data.size());
+}
 
 /// Append-only encoder.
 class Encoder {
@@ -32,14 +60,19 @@ class Encoder {
   void boolean(bool v) { u8(v ? 1 : 0); }
 
   void str(const std::string& s) {
+    COLONY_ASSERT(s.size() <= UINT32_MAX, "string exceeds u32 length prefix");
     u32(static_cast<std::uint32_t>(s.size()));
     buf_.insert(buf_.end(), s.begin(), s.end());
   }
 
   void bytes(const Bytes& b) {
+    COLONY_ASSERT(b.size() <= UINT32_MAX, "buffer exceeds u32 length prefix");
     u32(static_cast<std::uint32_t>(b.size()));
     buf_.insert(buf_.end(), b.begin(), b.end());
   }
+
+  /// Append raw bytes with no length prefix (framing owns the length).
+  void raw(const Bytes& b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
 
   [[nodiscard]] const Bytes& data() const { return buf_; }
   [[nodiscard]] Bytes take() { return std::move(buf_); }
@@ -56,8 +89,12 @@ class Encoder {
   Bytes buf_;
 };
 
-/// Sequential decoder over a byte buffer. Out-of-bounds reads are protocol
-/// corruption and abort.
+/// Sequential decoder over a byte buffer. Bounds-checked: a read past the
+/// end (truncated input, or an oversized length prefix) latches a failure
+/// flag instead of touching out-of-bounds memory; from then on every read
+/// returns a zero value. Callers check `ok()` when the input is untrusted —
+/// dispatchers assert it, since checksum-verified frames cannot be
+/// malformed unless encode and decode disagree.
 class Decoder {
  public:
   explicit Decoder(const Bytes& data) : data_(data) {}
@@ -77,7 +114,7 @@ class Decoder {
 
   std::string str() {
     const std::uint32_t n = u32();
-    require(n);
+    if (!require(n)) return {};
     std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
     pos_ += n;
     return s;
@@ -85,12 +122,25 @@ class Decoder {
 
   Bytes bytes() {
     const std::uint32_t n = u32();
-    require(n);
+    if (!require(n)) return {};
     Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
             data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
     pos_ += n;
     return b;
   }
+
+  /// Consume and return everything left (unprefixed trailing payload).
+  Bytes tail() {
+    Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_), data_.end());
+    pos_ = data_.size();
+    return b;
+  }
+
+  /// False once any read ran past the end of the buffer.
+  [[nodiscard]] bool ok() const { return !failed_; }
+  /// Latch the failure flag (container codecs reject absurd length
+  /// prefixes before allocating).
+  void fail() { failed_ = true; }
 
   [[nodiscard]] bool done() const { return pos_ == data_.size(); }
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
@@ -98,19 +148,25 @@ class Decoder {
  private:
   template <typename T>
   T take() {
-    require(sizeof(T));
+    if (!require(sizeof(T))) return T{};
     T v;
     std::memcpy(&v, data_.data() + pos_, sizeof(T));
     pos_ += sizeof(T);
     return v;
   }
 
-  void require(std::size_t n) const {
-    COLONY_ASSERT(pos_ + n <= data_.size(), "decoder ran past end of buffer");
+  bool require(std::size_t n) {
+    // pos_ <= size always holds, so the subtraction cannot underflow.
+    if (failed_ || n > data_.size() - pos_) {
+      failed_ = true;
+      return false;
+    }
+    return true;
   }
 
   const Bytes& data_;
   std::size_t pos_ = 0;
+  bool failed_ = false;
 };
 
 }  // namespace colony

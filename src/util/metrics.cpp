@@ -83,6 +83,35 @@ double ThroughputCounter::steady_rate_per_second() const {
   return sum / static_cast<double>(hi - lo);
 }
 
+void WireStats::record(NodeId from, NodeId to, std::uint32_t kind,
+                       std::size_t frame_bytes) {
+  const auto n = static_cast<std::uint64_t>(frame_bytes);
+  ++total_.frames;
+  total_.bytes += n;
+  auto& k = per_kind_[kind];
+  ++k.frames;
+  k.bytes += n;
+  auto& l = per_link_[{from, to}];
+  ++l.frames;
+  l.bytes += n;
+}
+
+WireStats::Counter WireStats::for_kind(std::uint32_t kind) const {
+  const auto it = per_kind_.find(kind);
+  return it == per_kind_.end() ? Counter{} : it->second;
+}
+
+WireStats::Counter WireStats::for_link(NodeId from, NodeId to) const {
+  const auto it = per_link_.find({from, to});
+  return it == per_link_.end() ? Counter{} : it->second;
+}
+
+void WireStats::clear() {
+  total_ = Counter{};
+  per_kind_.clear();
+  per_link_.clear();
+}
+
 double Series::mean_in(SimTime from, SimTime to) const {
   double sum = 0;
   std::size_t n = 0;

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/types.hpp"
@@ -58,6 +59,42 @@ class ThroughputCounter {
 struct SeriesPoint {
   SimTime at;
   double value;
+};
+
+/// Byte accounting of the framed transport. The network records every
+/// frame it accepts for transmission (including duplicate copies — they
+/// occupy the wire too), keyed by directed link and by protocol kind; RPC
+/// envelope flag bits are stripped by the recorder so request and response
+/// traffic of a method aggregate under its protocol kind. This is what
+/// makes the metadata ablation's numbers *measured* sizes rather than
+/// offline re-encodings.
+class WireStats {
+ public:
+  struct Counter {
+    std::uint64_t frames = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  void record(NodeId from, NodeId to, std::uint32_t kind,
+              std::size_t frame_bytes);
+
+  [[nodiscard]] const Counter& total() const { return total_; }
+  [[nodiscard]] Counter for_kind(std::uint32_t kind) const;
+  [[nodiscard]] Counter for_link(NodeId from, NodeId to) const;
+  [[nodiscard]] const std::map<std::uint32_t, Counter>& per_kind() const {
+    return per_kind_;
+  }
+  [[nodiscard]] const std::map<std::pair<NodeId, NodeId>, Counter>& per_link()
+      const {
+    return per_link_;
+  }
+
+  void clear();
+
+ private:
+  Counter total_;
+  std::map<std::uint32_t, Counter> per_kind_;
+  std::map<std::pair<NodeId, NodeId>, Counter> per_link_;
 };
 
 class Series {

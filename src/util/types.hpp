@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <tuple>
 
 namespace colony {
 
@@ -47,6 +48,8 @@ struct ObjectKey {
   auto operator<=>(const ObjectKey&) const = default;
 
   [[nodiscard]] std::string full() const { return bucket + "/" + name; }
+
+  auto fields() { return std::tie(bucket, name); }
 };
 
 }  // namespace colony

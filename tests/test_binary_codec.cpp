@@ -74,12 +74,29 @@ TEST(BinaryCodec, RemainingTracksProgress) {
   EXPECT_TRUE(dec.done());
 }
 
-TEST(BinaryCodecDeath, OverrunAborts) {
+TEST(BinaryCodec, OverrunLatchesFailureInsteadOfAborting) {
+  // Untrusted input must never crash the decoder: a read past the end
+  // returns a zero value and latches the failure flag, which stays latched
+  // for every subsequent read.
   Encoder enc;
   enc.u8(1);
   Decoder dec(enc.data());
   dec.u8();
-  EXPECT_DEATH(dec.u32(), "decoder ran past end");
+  EXPECT_TRUE(dec.ok());
+  EXPECT_EQ(dec.u32(), 0u);
+  EXPECT_FALSE(dec.ok());
+  EXPECT_EQ(dec.u64(), 0u);  // still failed; reads stay inert
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(BinaryCodec, TruncatedLengthPrefixFails) {
+  // A string/bytes length prefix larger than the remaining input must be
+  // rejected without allocating or reading out of bounds.
+  Encoder enc;
+  enc.u32(1000);  // claims 1000 payload bytes; none follow
+  Decoder dec(enc.data());
+  EXPECT_EQ(dec.str(), "");
+  EXPECT_FALSE(dec.ok());
 }
 
 TEST(BinaryCodec, TakeMovesBuffer) {

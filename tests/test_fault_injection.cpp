@@ -20,7 +20,7 @@ struct Recorder final : sim::Actor {
   Recorder(sim::Network& net, NodeId id) : Actor(net, id) {}
   std::vector<std::uint32_t> received;
   void handle(NodeId /*from*/, std::uint32_t kind,
-              const std::any& /*body*/) override {
+              const Bytes& /*body*/) override {
     received.push_back(kind);
   }
 };
@@ -108,7 +108,7 @@ TEST(FaultInjection, ShardAppliesDuplicatedUpdateOnce) {
       OpRecord{{"b", "x"}, CrdtType::kPnCounter, PnCounter::prepare_add(5)});
 
   net.set_duplicate_rate(1.0);  // every send delivered twice
-  net.send(3, 2, proto::kShardApply, msg);
+  net.send(3, 2, proto::kShardApply, codec::to_bytes(msg));
   sched.run_until(sched.now() + kSecond);
 
   EXPECT_EQ(net.messages_duplicated(), 1u);

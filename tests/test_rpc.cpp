@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/codec.hpp"
+
 namespace colony::sim {
 namespace {
 
@@ -11,9 +13,9 @@ struct EchoServer final : RpcActor {
   bool defer = false;
   ReplyFn deferred;
 
-  void on_message(NodeId, std::uint32_t, const std::any&) override {}
-  void on_request(NodeId /*from*/, std::uint32_t method,
-                  const std::any& payload, ReplyFn reply) override {
+  void on_message(NodeId, std::uint32_t, const Bytes&) override {}
+  void on_request(NodeId /*from*/, std::uint32_t method, const Bytes& payload,
+                  ReplyFn reply) override {
     if (method == 99) {
       reply(Error{Error::Code::kInvalidArgument, "bad method"});
       return;
@@ -22,14 +24,14 @@ struct EchoServer final : RpcActor {
       deferred = std::move(reply);
       return;
     }
-    reply(std::any{std::any_cast<int>(payload) + 1});
+    reply(codec::to_bytes(codec::from_bytes<int>(payload) + 1));
   }
 };
 
 struct Client final : RpcActor {
   Client(Network& net, NodeId id) : RpcActor(net, id) {}
-  void on_message(NodeId, std::uint32_t, const std::any&) override {}
-  void on_request(NodeId, std::uint32_t, const std::any&,
+  void on_message(NodeId, std::uint32_t, const Bytes&) override {}
+  void on_request(NodeId, std::uint32_t, const Bytes&,
                   ReplyFn reply) override {
     reply(Error{Error::Code::kInvalidArgument, "not a server"});
   }
@@ -48,9 +50,9 @@ TEST_F(RpcTest, RoundTrip) {
 
   int got = 0;
   SimTime completed_at = 0;
-  client.call(1, 7, 41, [&](Result<std::any> r) {
+  client.call(1, 7, 41, [&](Result<Bytes> r) {
     ASSERT_TRUE(r.ok());
-    got = std::any_cast<int>(r.value());
+    got = codec::from_bytes<int>(r.value());
     completed_at = sched.now();
   });
   sched.run_all();  // also drains the (ignored) timeout event
@@ -64,7 +66,7 @@ TEST_F(RpcTest, ErrorsPropagate) {
   net.connect(1, 2, LatencyModel{1 * kMillisecond, 0});
 
   Error::Code code{};
-  client.call(1, 99, 0, [&](Result<std::any> r) {
+  client.call(1, 99, 0, [&](Result<Bytes> r) {
     ASSERT_FALSE(r.ok());
     code = r.error().code;
   });
@@ -80,7 +82,7 @@ TEST_F(RpcTest, TimeoutFiresWhenServerUnreachable) {
   net.set_link_up(1, 2, false);
 
   bool timed_out = false;
-  client.call(1, 7, 1, [&](Result<std::any> r) {
+  client.call(1, 7, 1, [&](Result<Bytes> r) {
     EXPECT_FALSE(r.ok());
     EXPECT_EQ(r.error().code, Error::Code::kUnavailable);
     timed_out = true;
@@ -97,11 +99,11 @@ TEST_F(RpcTest, CallbackFiresExactlyOnceOnLateReply) {
   net.connect(1, 2, LatencyModel{1 * kMillisecond, 0});
 
   int calls = 0;
-  client.call(1, 7, 1, [&](Result<std::any>) { ++calls; },
+  client.call(1, 7, 1, [&](Result<Bytes>) { ++calls; },
               /*timeout=*/10 * kMillisecond);
   sched.run_until(20 * kMillisecond);
   EXPECT_EQ(calls, 1);  // timeout fired
-  server.deferred(std::any{5});  // late reply after timeout
+  server.deferred(codec::to_bytes(5));  // late reply after timeout
   sched.run_all();
   EXPECT_EQ(calls, 1);  // ignored
 }
@@ -116,7 +118,7 @@ TEST_F(RpcTest, ReplyInFlightWhenTimeoutFiresIsDropped) {
 
   int calls = 0;
   bool ok = true;
-  client.call(1, 7, 1, [&](Result<std::any> r) {
+  client.call(1, 7, 1, [&](Result<Bytes> r) {
     ++calls;
     ok = r.ok();
   }, /*timeout=*/8 * kMillisecond);  // reply lands at 10ms
@@ -134,7 +136,7 @@ TEST_F(RpcTest, ReplyAndTimeoutAtTheSameInstantFireOnce) {
   net.connect(1, 2, LatencyModel{5 * kMillisecond, 0});
 
   int calls = 0;
-  client.call(1, 7, 1, [&](Result<std::any>) { ++calls; },
+  client.call(1, 7, 1, [&](Result<Bytes>) { ++calls; },
               /*timeout=*/10 * kMillisecond);
   sched.run_all();
   EXPECT_EQ(calls, 1);
@@ -149,7 +151,7 @@ TEST_F(RpcTest, DanglingTimeoutAfterSuccessfulReplyIsNoOp) {
 
   int calls = 0;
   bool ok = false;
-  client.call(1, 7, 41, [&](Result<std::any> r) {
+  client.call(1, 7, 41, [&](Result<Bytes> r) {
     ++calls;
     ok = r.ok();
   }, /*timeout=*/30 * kSecond);
@@ -166,13 +168,13 @@ TEST_F(RpcTest, AsynchronousServerReply) {
   net.connect(1, 2, LatencyModel{1 * kMillisecond, 0});
 
   int got = 0;
-  client.call(1, 7, 1, [&](Result<std::any> r) {
+  client.call(1, 7, 1, [&](Result<Bytes> r) {
     ASSERT_TRUE(r.ok());
-    got = std::any_cast<int>(r.value());
+    got = codec::from_bytes<int>(r.value());
   });
   sched.run_until(5 * kMillisecond);
   ASSERT_TRUE(static_cast<bool>(server.deferred));
-  server.deferred(std::any{123});  // server answers later
+  server.deferred(codec::to_bytes(123));  // server answers later
   sched.run_all();
   EXPECT_EQ(got, 123);
 }
@@ -184,9 +186,9 @@ TEST_F(RpcTest, ConcurrentCallsCorrelate) {
 
   std::vector<int> results(10, 0);
   for (int i = 0; i < 10; ++i) {
-    client.call(1, 7, i * 100, [&results, i](Result<std::any> r) {
+    client.call(1, 7, i * 100, [&results, i](Result<Bytes> r) {
       ASSERT_TRUE(r.ok());
-      results[static_cast<std::size_t>(i)] = std::any_cast<int>(r.value());
+      results[static_cast<std::size_t>(i)] = codec::from_bytes<int>(r.value());
     });
   }
   sched.run_all();

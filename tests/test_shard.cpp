@@ -16,8 +16,8 @@ class ShardTest : public ::testing::Test {
 
   struct Client final : sim::RpcActor {
     Client(sim::Network& net, NodeId id) : RpcActor(net, id) {}
-    void on_message(NodeId, std::uint32_t, const std::any&) override {}
-    void on_request(NodeId, std::uint32_t, const std::any&,
+    void on_message(NodeId, std::uint32_t, const Bytes&) override {}
+    void on_request(NodeId, std::uint32_t, const Bytes&,
                     ReplyFn reply) override {
       reply(Error{Error::Code::kInvalidArgument, "not a server"});
     }
@@ -29,7 +29,7 @@ class ShardTest : public ::testing::Test {
     msg.dot = dot;
     msg.ops.push_back(OpRecord{{"b", "x"}, CrdtType::kPnCounter,
                                PnCounter::prepare_add(delta)});
-    net.send(3, 2, proto::kShardApply, msg);
+    net.send(3, 2, proto::kShardApply, codec::to_bytes(msg));
     // Bounded drain: run_all would also fire pending RPC-timeout events
     // scheduled far in the future.
     sched.run_until(sched.now() + 10 * kMillisecond);
@@ -53,10 +53,10 @@ TEST_F(ShardTest, ReadReturnsValue) {
   apply(1, Dot{9, 1}, 7);
   std::int64_t value = -1;
   client.call(2, proto::kShardRead, proto::ShardReadReq{{"b", "x"}, 1},
-              [&](Result<std::any> r) {
+              [&](Result<Bytes> r) {
                 ASSERT_TRUE(r.ok());
-                const auto& resp =
-                    std::any_cast<const proto::ShardReadResp&>(r.value());
+                const auto resp =
+                    codec::from_bytes<proto::ShardReadResp>(r.value());
                 ASSERT_TRUE(resp.found);
                 PnCounter c;
                 c.restore(resp.state);
@@ -69,9 +69,9 @@ TEST_F(ShardTest, ReadReturnsValue) {
 TEST_F(ShardTest, ReadOfUnknownKeyNotFound) {
   bool found = true;
   client.call(2, proto::kShardRead, proto::ShardReadReq{{"b", "none"}, 0},
-              [&](Result<std::any> r) {
+              [&](Result<Bytes> r) {
                 ASSERT_TRUE(r.ok());
-                found = std::any_cast<const proto::ShardReadResp&>(r.value())
+                found = codec::from_bytes<proto::ShardReadResp>(r.value())
                             .found;
               });
   sched.run_all();
@@ -84,10 +84,10 @@ TEST_F(ShardTest, ClockSiReadWaitsForSnapshot) {
   std::int64_t value = -1;
   SimTime answered_at = 0;
   client.call(2, proto::kShardRead, proto::ShardReadReq{{"b", "x"}, 3},
-              [&](Result<std::any> r) {
+              [&](Result<Bytes> r) {
                 ASSERT_TRUE(r.ok());
-                const auto& resp =
-                    std::any_cast<const proto::ShardReadResp&>(r.value());
+                const auto resp =
+                    codec::from_bytes<proto::ShardReadResp>(r.value());
                 PnCounter c;
                 c.restore(resp.state);
                 value = c.value();
@@ -112,9 +112,9 @@ TEST_F(ShardTest, PrepareVotesCommitAndBuffers) {
   prep.txn_id = 42;
   prep.ops.push_back(OpRecord{{"b", "x"}, CrdtType::kPnCounter,
                               PnCounter::prepare_add(1)});
-  client.call(2, proto::kShardPrepare, prep, [&](Result<std::any> r) {
+  client.call(2, proto::kShardPrepare, prep, [&](Result<Bytes> r) {
     ASSERT_TRUE(r.ok());
-    vote = std::any_cast<const proto::ShardPrepareResp&>(r.value())
+    vote = codec::from_bytes<proto::ShardPrepareResp>(r.value())
                .vote_commit;
   });
   sched.run_all();
@@ -123,7 +123,7 @@ TEST_F(ShardTest, PrepareVotesCommitAndBuffers) {
   EXPECT_EQ(shard.object_count(), 0u);
   // Commit releases the buffer without crashing.
   net.send(3, 2, proto::kShardCommit,
-           proto::ShardCommitMsg{42, true, 1, Dot{9, 1}});
+           codec::to_bytes(proto::ShardCommitMsg{42, true, 1, Dot{9, 1}}));
   sched.run_all();
 }
 
@@ -134,9 +134,9 @@ TEST_F(ShardTest, PrepareVotesAbortOnTypeClash) {
   prep.txn_id = 43;
   prep.ops.push_back(OpRecord{{"b", "x"}, CrdtType::kGSet,
                               GSet::prepare_add("boom")});
-  client.call(2, proto::kShardPrepare, prep, [&](Result<std::any> r) {
+  client.call(2, proto::kShardPrepare, prep, [&](Result<Bytes> r) {
     ASSERT_TRUE(r.ok());
-    vote = std::any_cast<const proto::ShardPrepareResp&>(r.value())
+    vote = codec::from_bytes<proto::ShardPrepareResp>(r.value())
                .vote_commit;
   });
   sched.run_all();

@@ -1,0 +1,257 @@
+// Property test of the wire codec: for every message kind, randomized
+// instances must survive decode(encode(m)) == m — both through the bare
+// codec and through a sealed frame. The generator mirrors the codec's type
+// dispatch, so adding a field to a message automatically widens the fuzz
+// coverage of its kind.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "consensus/epaxos.hpp"
+#include "core/txn.hpp"
+#include "dc/messages.hpp"
+#include "sim/network.hpp"
+#include "storage/journal_store.hpp"
+#include "util/codec.hpp"
+#include "util/rng.hpp"
+
+namespace colony {
+namespace {
+
+constexpr int kIters = 1000;
+
+template <typename T>
+T fuzz(Rng& rng);
+
+namespace fuzz_detail {
+
+template <typename V, std::size_t... Is>
+V fuzz_variant(Rng& rng, std::size_t index,
+               std::index_sequence<Is...> /*alts*/) {
+  V out{};
+  auto try_alt = [&]<std::size_t I>() {
+    if (I == index) out = fuzz<std::variant_alternative_t<I, V>>(rng);
+  };
+  (try_alt.template operator()<Is>(), ...);
+  return out;
+}
+
+}  // namespace fuzz_detail
+
+template <typename T>
+T fuzz(Rng& rng) {
+  if constexpr (std::is_same_v<T, bool>) {
+    return rng.chance(0.5);
+  } else if constexpr (std::is_same_v<T, CrdtType>) {
+    constexpr CrdtType kTypes[] = {
+        CrdtType::kGCounter, CrdtType::kPnCounter, CrdtType::kLwwRegister,
+        CrdtType::kMvRegister, CrdtType::kGSet, CrdtType::kOrSet,
+        CrdtType::kGMap, CrdtType::kAwMap, CrdtType::kRga, CrdtType::kAcl,
+        CrdtType::kSealed};
+    return kTypes[rng.below(std::size(kTypes))];
+  } else if constexpr (std::is_enum_v<T>) {
+    return static_cast<T>(rng.below(5));
+  } else if constexpr (std::is_integral_v<T>) {
+    return static_cast<T>(rng.next());
+  } else if constexpr (std::is_floating_point_v<T>) {
+    return static_cast<T>(static_cast<std::int64_t>(rng.below(2'000'001)) -
+                          1'000'000) /
+           997.0;
+  } else if constexpr (std::is_same_v<T, std::string>) {
+    std::string s(rng.below(9), '\0');
+    for (char& c : s) c = static_cast<char>(rng.below(256));
+    return s;
+  } else if constexpr (std::is_same_v<T, Bytes>) {
+    Bytes b(rng.below(17));
+    for (std::uint8_t& v : b) v = static_cast<std::uint8_t>(rng.below(256));
+    return b;
+  } else if constexpr (std::is_same_v<T, Dot>) {
+    return Dot{rng.next(), rng.next()};
+  } else if constexpr (std::is_same_v<T, VersionVector>) {
+    VersionVector v(rng.below(5));
+    for (DcId dc = 0; dc < static_cast<DcId>(v.size()); ++dc) {
+      v.set(dc, rng.below(1'000'000));
+    }
+    return v;
+  } else if constexpr (codec::detail::is_vector_v<T>) {
+    T out;
+    const std::size_t n = rng.below(4);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(fuzz<typename T::value_type>(rng));
+    }
+    return out;
+  } else if constexpr (codec::detail::is_set_v<T>) {
+    T out;
+    const std::size_t n = rng.below(4);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.insert(fuzz<typename T::value_type>(rng));
+    }
+    return out;
+  } else if constexpr (codec::detail::is_pair_v<T>) {
+    auto first = fuzz<typename T::first_type>(rng);
+    auto second = fuzz<typename T::second_type>(rng);
+    return T{std::move(first), std::move(second)};
+  } else if constexpr (codec::detail::is_optional_v<T>) {
+    if (rng.chance(0.3)) return std::nullopt;
+    return fuzz<typename T::value_type>(rng);
+  } else if constexpr (codec::detail::is_variant_v<T>) {
+    return fuzz_detail::fuzz_variant<T>(
+        rng, rng.below(std::variant_size_v<T>),
+        std::make_index_sequence<std::variant_size_v<T>>{});
+  } else if constexpr (codec::FieldTuple<T>) {
+    T out{};
+    std::apply([&rng](auto&... f) { ((f = fuzz<std::decay_t<decltype(f)>>(rng)), ...); },
+               out.fields());
+    return out;
+  } else {
+    static_assert(!sizeof(T*), "type has no fuzz mapping");
+  }
+}
+
+/// decode(encode(m)) == m, plus the same through a checksummed frame
+/// (frame::encode / frame::decode), which is the path every live message
+/// actually takes.
+template <typename T>
+void fuzz_roundtrip(std::uint32_t kind) {
+  Rng rng(0xC01051ULL * 31 + kind);  // seeded: reproducible per kind
+  for (int i = 0; i < kIters; ++i) {
+    const T msg = fuzz<T>(rng);
+    const Bytes bytes = codec::to_bytes(msg);
+
+    const std::optional<T> direct = codec::try_from_bytes<T>(bytes);
+    ASSERT_TRUE(direct.has_value()) << "iter " << i;
+    ASSERT_EQ(*direct, msg) << "iter " << i;
+
+    const Bytes frm = sim::frame::encode(kind, bytes);
+    ASSERT_EQ(frm.size(), bytes.size() + sim::frame::kOverheadBytes);
+    const auto view = sim::frame::decode(frm);
+    ASSERT_TRUE(view.has_value()) << "iter " << i;
+    ASSERT_EQ(view->kind, kind);
+    ASSERT_EQ(codec::from_bytes<T>(view->payload), msg) << "iter " << i;
+  }
+}
+
+#define WIRE_ROUNDTRIP_TEST(Type, Kind) \
+  TEST(WireRoundTrip, Type) { fuzz_roundtrip<proto::Type>(proto::Kind); }
+
+// Edge <-> DC session protocol.
+WIRE_ROUNDTRIP_TEST(EdgeCommitReq, kEdgeCommit)
+WIRE_ROUNDTRIP_TEST(EdgeCommitResp, kEdgeCommit)
+WIRE_ROUNDTRIP_TEST(SubscribeReq, kSubscribe)
+WIRE_ROUNDTRIP_TEST(SubscribeResp, kSubscribe)
+WIRE_ROUNDTRIP_TEST(FetchReq, kFetchObject)
+WIRE_ROUNDTRIP_TEST(FetchResp, kFetchObject)
+WIRE_ROUNDTRIP_TEST(PushTxn, kPushTxn)
+WIRE_ROUNDTRIP_TEST(StateUpdate, kStateUpdate)
+WIRE_ROUNDTRIP_TEST(PushAck, kPushAck)
+WIRE_ROUNDTRIP_TEST(MigrateReq, kMigrate)
+WIRE_ROUNDTRIP_TEST(MigrateResp, kMigrate)
+WIRE_ROUNDTRIP_TEST(DcExecuteReq, kDcExecute)
+WIRE_ROUNDTRIP_TEST(DcExecuteResp, kDcExecute)
+WIRE_ROUNDTRIP_TEST(OpenSessionReq, kOpenSession)
+WIRE_ROUNDTRIP_TEST(OpenSessionResp, kOpenSession)
+
+// DC <-> DC geo-replication.
+WIRE_ROUNDTRIP_TEST(ReplicateTxn, kReplicateTxn)
+WIRE_ROUNDTRIP_TEST(DcGossip, kDcGossip)
+
+// Intra-DC shard protocol.
+WIRE_ROUNDTRIP_TEST(ShardReadReq, kShardRead)
+WIRE_ROUNDTRIP_TEST(ShardReadResp, kShardRead)
+WIRE_ROUNDTRIP_TEST(ShardPrepareReq, kShardPrepare)
+WIRE_ROUNDTRIP_TEST(ShardPrepareResp, kShardPrepare)
+WIRE_ROUNDTRIP_TEST(ShardCommitMsg, kShardCommit)
+WIRE_ROUNDTRIP_TEST(ShardApplyMsg, kShardApply)
+
+// Peer group protocol. EpaxosEnvelope's variant payload covers all five
+// consensus message types; kGroupPing carries no payload (empty request,
+// bool reply) so it has no message struct to fuzz.
+WIRE_ROUNDTRIP_TEST(GroupJoinReq, kGroupJoin)
+WIRE_ROUNDTRIP_TEST(GroupJoinResp, kGroupJoin)
+WIRE_ROUNDTRIP_TEST(GroupLeaveReq, kGroupLeave)
+WIRE_ROUNDTRIP_TEST(MembershipMsg, kGroupMembership)
+WIRE_ROUNDTRIP_TEST(EpaxosEnvelope, kEpaxos)
+WIRE_ROUNDTRIP_TEST(CatchupReq, kGroupCatchup)
+WIRE_ROUNDTRIP_TEST(CatchupResp, kGroupCatchup)
+WIRE_ROUNDTRIP_TEST(PeerFetchReq, kPeerFetch)
+WIRE_ROUNDTRIP_TEST(PeerFetchResp, kPeerFetch)
+WIRE_ROUNDTRIP_TEST(ResolutionMsg, kResolutionRelay)
+WIRE_ROUNDTRIP_TEST(InterestUpdate, kInterestUpdate)
+WIRE_ROUNDTRIP_TEST(UnsubscribeMsg, kUnsubscribe)
+
+// Not a Kind of its own: the EPaxos command payload inside a group.
+TEST(WireRoundTrip, GroupCommand) {
+  Rng rng(0xC01051);
+  for (int i = 0; i < kIters; ++i) {
+    const auto cmd = fuzz<proto::GroupCommand>(rng);
+    ASSERT_EQ(proto::GroupCommand::from_bytes(cmd.to_bytes()), cmd);
+  }
+}
+
+// Every kind used above reports a human-readable name (the wire accounting
+// tables would otherwise print "?" rows).
+TEST(WireRoundTrip, EveryKindHasAName) {
+  for (std::uint32_t kind = 0; kind < 64; ++kind) {
+    const bool known = std::string(proto::kind_name(kind)) != "?";
+    switch (kind) {
+      case proto::kEdgeCommit:
+      case proto::kSubscribe:
+      case proto::kFetchObject:
+      case proto::kPushTxn:
+      case proto::kStateUpdate:
+      case proto::kMigrate:
+      case proto::kDcExecute:
+      case proto::kOpenSession:
+      case proto::kPushAck:
+      case proto::kReplicateTxn:
+      case proto::kDcGossip:
+      case proto::kShardRead:
+      case proto::kShardPrepare:
+      case proto::kShardCommit:
+      case proto::kShardApply:
+      case proto::kGroupJoin:
+      case proto::kGroupLeave:
+      case proto::kGroupMembership:
+      case proto::kEpaxos:
+      case proto::kGroupCatchup:
+      case proto::kPeerFetch:
+      case proto::kResolutionRelay:
+      case proto::kInterestUpdate:
+      case proto::kUnsubscribe:
+      case proto::kGroupPing:
+        EXPECT_TRUE(known) << "kind " << kind << " unnamed";
+        break;
+      default:
+        EXPECT_FALSE(known) << "kind " << kind << " unexpectedly named";
+    }
+  }
+}
+
+// Truncation hardening end to end: chopping a fuzzed message's encoding at
+// any length must fail cleanly (nullopt), never crash or mis-decode.
+TEST(WireRoundTrip, TruncatedMessagesFailCleanly) {
+  Rng rng(7);
+  for (int i = 0; i < 64; ++i) {
+    const auto msg = fuzz<proto::PushTxn>(rng);
+    const Bytes bytes = codec::to_bytes(msg);
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+      const Bytes prefix(bytes.begin(),
+                         bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+      const auto out = codec::try_from_bytes<proto::PushTxn>(prefix);
+      // A shorter prefix can only decode if it is itself a complete valid
+      // encoding — impossible here, since the codec has no padding: any
+      // strict prefix leaves the decoder short or not done.
+      ASSERT_FALSE(out.has_value()) << "iter " << i << " cut " << cut;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace colony
