@@ -1,5 +1,7 @@
 #include "core/txn.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace colony {
@@ -86,9 +88,7 @@ VersionVector TxnMeta::commit_vector_via(DcId dc) const {
 
 VersionVector TxnMeta::commit_lub() const {
   VersionVector v = snapshot;
-  for (DcId dc = 0; dc < 32; ++dc) {
-    if (accepted_by(dc)) v.set(dc, commit.at(dc));
-  }
+  for_each_accepted([&](DcId dc) { v.set(dc, commit.at(dc)); });
   return v;
 }
 
@@ -97,11 +97,11 @@ bool TxnStore::add(Transaction txn) {
   if (it != txns_.end()) {
     // Duplicate delivery: merge commit knowledge, keep existing ops.
     TxnMeta& existing = it->second.meta;
-    for (DcId dc = 0; dc < 32; ++dc) {
-      if (txn.meta.accepted_by(dc) && !existing.accepted_by(dc)) {
+    txn.meta.for_each_accepted([&](DcId dc) {
+      if (!existing.accepted_by(dc)) {
         existing.mark_accepted(dc, txn.meta.commit.at(dc));
       }
-    }
+    });
     // A concrete copy also carries the DC-resolved snapshot; adopt it so
     // pending deps disappear.
     if (txn.meta.concrete && !existing.pending_deps.empty() &&
@@ -147,23 +147,19 @@ bool TxnStore::visible_at(const Dot& dot, const VersionVector& cut) const {
   const Transaction* txn = find(dot);
   if (txn == nullptr || !txn->meta.concrete) return false;
   const TxnMeta& m = txn->meta;
-  for (DcId dc = 0; dc < 32; ++dc) {
-    if (!m.accepted_by(dc)) continue;
-    if (m.commit.at(dc) > cut.at(dc)) continue;
+  bool visible = false;
+  m.for_each_accepted([&](DcId dc) {
+    if (visible || m.commit.at(dc) > cut.at(dc)) return;
     // Snapshot components other than dc must also be within the cut.
-    bool ok = true;
-    for (DcId c = 0; c < static_cast<DcId>(cut.size()) ||
-                     c < static_cast<DcId>(m.snapshot.size());
-         ++c) {
+    const DcId width = static_cast<DcId>(std::max(cut.size(),
+                                                  m.snapshot.size()));
+    for (DcId c = 0; c < width; ++c) {
       if (c == dc) continue;
-      if (m.snapshot.at(c) > cut.at(c)) {
-        ok = false;
-        break;
-      }
+      if (m.snapshot.at(c) > cut.at(c)) return;
     }
-    if (ok) return true;
-  }
-  return false;
+    visible = true;
+  });
+  return visible;
 }
 
 std::vector<Dot> TxnStore::all_dots() const {

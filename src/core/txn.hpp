@@ -14,7 +14,9 @@
 //   * its operations    — CRDT downstream ops to replay.
 #pragma once
 
+#include <bit>
 #include <cstdint>
+#include <limits>
 #include <tuple>
 #include <unordered_map>
 #include <vector>
@@ -60,12 +62,27 @@ struct TxnMeta {
   std::uint32_t accepted_mask = 0;
 
   [[nodiscard]] bool accepted_by(DcId dc) const {
-    return (accepted_mask & (1u << dc)) != 0;
+    return dc < kMaxDcs && (accepted_mask & (1u << dc)) != 0;
   }
   void mark_accepted(DcId dc, Timestamp ts) {
+    COLONY_ASSERT(dc < kMaxDcs, "DcId beyond accepted-mask width");
     accepted_mask |= 1u << dc;
     commit.set(dc, ts);
     concrete = true;
+  }
+
+  /// Invoke `fn(dc)` for every DC that assigned this transaction a commit
+  /// timestamp, iterating set bits of the mask (no fixed-bound scan).
+  template <typename Fn>
+  void for_each_accepted(Fn&& fn) const {
+    for (std::uint32_t bits = accepted_mask; bits != 0; bits &= bits - 1) {
+      fn(static_cast<DcId>(std::countr_zero(bits)));
+    }
+  }
+
+  /// Lowest-numbered accepting DC; only meaningful when `concrete`.
+  [[nodiscard]] DcId first_accepted() const {
+    return static_cast<DcId>(std::countr_zero(accepted_mask));
   }
 
   /// The equivalent commit vector for accepting DC `dc`: the snapshot with
@@ -84,6 +101,12 @@ struct TxnMeta {
                     commit, accepted_mask);
   }
 };
+
+/// The accepted-DC bitmask is the single place the max-DC bound is baked
+/// into a data layout; keep it and kMaxDcs in lock-step.
+static_assert(
+    std::numeric_limits<decltype(TxnMeta::accepted_mask)>::digits == kMaxDcs,
+    "TxnMeta::accepted_mask width must equal kMaxDcs");
 
 /// Value (wire) representation of a transaction: metadata plus operations.
 struct Transaction {

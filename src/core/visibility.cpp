@@ -1,6 +1,7 @@
 #include "core/visibility.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "util/assert.hpp"
 
@@ -8,7 +9,20 @@ namespace colony {
 
 VisibilityEngine::VisibilityEngine(TxnStore& txns, JournalStore& store,
                                    std::size_t num_dcs)
-    : txns_(txns), store_(store), state_(num_dcs) {}
+    : txns_(txns), store_(store), state_(num_dcs), mode_(default_mode_) {
+  if (shadow_default_) {
+    shadow_store_ = std::make_unique<JournalStore>();
+    shadow_.reset(new VisibilityEngine(txns, *shadow_store_, num_dcs,
+                                       /*is_shadow=*/true));
+  }
+}
+
+VisibilityEngine::VisibilityEngine(TxnStore& txns, JournalStore& store,
+                                   std::size_t num_dcs, bool /*is_shadow*/)
+    : txns_(txns),
+      store_(store),
+      state_(num_dcs),
+      mode_(DrainMode::kFixpointReference) {}
 
 namespace {
 
@@ -31,49 +45,33 @@ bool masked_dependency(const Transaction& txn, const Transaction& m) {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Event entry points. Each mutates the (shared) TxnStore exactly once, then
+// notifies this engine and — when equivalence checking is on — the reference
+// shadow with the same event, so both observe an identical stream.
+// ---------------------------------------------------------------------------
+
 bool VisibilityEngine::ingest(Transaction txn) {
   const Dot dot = txn.meta.dot;
   const bool fresh = txns_.add(std::move(txn));
-  if (fresh) {
-    pending_.push_back(dot);
-  } else if (applied_.contains(dot)) {
-    // A duplicate copy can carry commit slots learned only after we applied
-    // the transaction (equivalent timestamps after a migration, section
-    // 3.8); fold them in so those sequence components keep advancing.
-    advance_state(txns_.find(dot)->meta);
-  }
-  drain();
+  on_ingested(dot, fresh);
+  if (shadow_) shadow_->on_ingested(dot, fresh);
   return fresh;
 }
 
-void VisibilityEngine::advance_state(const TxnMeta& meta) {
-  if (!sequential_) {
-    state_.merge(meta.commit_lub());
-    return;
-  }
-  // Contiguous semantics: record the transaction's own commit slot(s) and
-  // only advance each component over its gap-free applied prefix. The
-  // snapshot part is safe to merge outright — it gated the apply (it was
-  // covered by state_ already) or arrived with a resolution, in which case
-  // it is some other replica's (prefix-sound) vector.
-  state_.merge(meta.snapshot);
-  for (DcId dc = 0; dc < 32; ++dc) {
-    if (!meta.accepted_by(dc)) continue;
-    applied_slots_.record(Dot{dc, meta.commit.at(dc)});
-    const Timestamp prefix = applied_slots_.prefix(dc);
-    if (prefix > state_.at(dc)) state_.set(dc, prefix);
-  }
+bool VisibilityEngine::admit(Transaction txn) {
+  const Dot dot = txn.meta.dot;
+  const bool fresh = txns_.add(std::move(txn));
+  on_admitted(dot);
+  if (shadow_) shadow_->on_admitted(dot);
+  return fresh;
 }
 
 void VisibilityEngine::resolve(const Dot& dot, DcId dc, Timestamp ts) {
   if (!txns_.contains(dot)) return;
   txns_.resolve(dot, dc, ts);
-  if (applied_.contains(dot)) {
-    // Already visible locally (read-my-writes fast path): the state vector
-    // may now advance past its concrete commit point.
-    advance_state(txns_.find(dot)->meta);
-  }
-  drain();
+  on_resolution(dot);
+  if (shadow_) shadow_->on_resolution(dot);
 }
 
 void VisibilityEngine::resolve_full(const Dot& dot, DcId dc, Timestamp ts,
@@ -83,13 +81,142 @@ void VisibilityEngine::resolve_full(const Dot& dot, DcId dc, Timestamp ts,
   txn->meta.snapshot = resolved_snapshot;
   txn->meta.pending_deps.clear();
   txn->meta.mark_accepted(dc, ts);
-  if (applied_.contains(dot)) {
-    advance_state(txn->meta);
-  }
-  drain();
+  on_resolution(dot);
+  if (shadow_) shadow_->on_resolution(dot);
 }
 
 bool VisibilityEngine::apply_causal(const Dot& dot) {
+  const bool applied = apply_causal_engine(dot);
+  if (shadow_) {
+    const bool shadow_applied = shadow_->apply_causal_engine(dot);
+    if (shadow_applied != applied && shadow_divergence_.empty()) {
+      std::ostringstream os;
+      os << "apply_causal(" << dot.origin << ":" << dot.counter
+         << "): indexed=" << applied << " reference=" << shadow_applied;
+      shadow_divergence_ = os.str();
+    }
+  }
+  return applied;
+}
+
+void VisibilityEngine::apply_local(const Dot& dot) {
+  const Transaction* txn = txns_.find(dot);
+  COLONY_ASSERT(txn != nullptr, "apply_local of unknown transaction");
+  if (!applied_.contains(dot)) {
+    const bool masked = security_check_ != nullptr && !security_check_(*txn);
+    apply_ops(*txn, masked);
+    applied_.insert(dot);
+    if (masked) mark_masked(dot, *txn);
+    log_.append(dot);
+    if (txn->meta.concrete) advance_state(txn->meta);
+    if (visible_hook_ != nullptr && !masked) visible_hook_(*txn);
+    if (pending_set_.contains(dot)) {
+      remove_pending(dot);
+      std::erase(pending_, dot);
+    }
+    fire_apply_event(dot);
+    pump();
+  }
+  if (shadow_) shadow_->apply_local(dot);
+}
+
+void VisibilityEngine::seed_state(const VersionVector& v) {
+  state_.merge(v);
+  seeded_cut_.merge(v);
+  catch_up_state_wakes();
+  if (shadow_) shadow_->seed_state(v);
+}
+
+void VisibilityEngine::set_security_check(SecurityCheck check) {
+  if (shadow_) shadow_->set_security_check(check);
+  security_check_ = std::move(check);
+}
+
+void VisibilityEngine::set_policy_key(ObjectKey key) {
+  if (shadow_) shadow_->set_policy_key(key);
+  policy_key_ = std::move(key);
+}
+
+void VisibilityEngine::set_key_filter(KeyFilter filter) {
+  if (shadow_) shadow_->set_key_filter(filter);
+  key_filter_ = std::move(filter);
+}
+
+void VisibilityEngine::set_sequential_components(bool on) {
+  sequential_ = on;
+  if (shadow_) shadow_->set_sequential_components(on);
+}
+
+void VisibilityEngine::drain() {
+  if (mode_ == DrainMode::kFixpointReference) {
+    drain_fixpoint();
+  } else {
+    catch_up_state_wakes();
+    pump();
+  }
+  if (shadow_) shadow_->drain();
+}
+
+// ---------------------------------------------------------------------------
+// Engine-side event handlers (no TxnStore mutation; shared by primary and
+// shadow).
+// ---------------------------------------------------------------------------
+
+void VisibilityEngine::on_ingested(const Dot& dot, bool fresh) {
+  if (fresh) {
+    add_pending(dot);
+    fire_txn_event(dot);
+  } else if (applied_.contains(dot)) {
+    // A duplicate copy can carry commit slots learned only after we applied
+    // the transaction (equivalent timestamps after a migration, section
+    // 3.8); fold them in so those sequence components keep advancing — and
+    // wake dependants parked on this dot's commit info (a read-my-writes
+    // apply can precede the commit knowledge they need).
+    advance_state(txns_.find(dot)->meta);
+    fire_txn_event(dot);
+  } else {
+    // The merge may have made the record concrete or adopted a resolved
+    // snapshot: anything waiting on this dot (itself included) must look
+    // again.
+    fire_txn_event(dot);
+  }
+  drain_self();
+}
+
+void VisibilityEngine::on_admitted(const Dot& dot) {
+  // The record entered the store without being scheduled for visibility
+  // (external ordering owns its application) — but pending transactions
+  // naming it as a dep can now resolve their effective snapshots.
+  if (applied_.contains(dot)) advance_state(txns_.find(dot)->meta);
+  fire_txn_event(dot);
+  drain_self();
+}
+
+void VisibilityEngine::on_resolution(const Dot& dot) {
+  if (applied_.contains(dot)) {
+    // Already visible locally (read-my-writes fast path): the state vector
+    // may now advance past its concrete commit point.
+    advance_state(txns_.find(dot)->meta);
+  }
+  // Wake waiters in EVERY case, applied included: a dependant parked on
+  // this dot's commit becoming concrete (its pending_dep) must re-resolve
+  // its effective snapshot now — the apply-side events never fire for a
+  // resolution that lands after a read-my-writes apply. The reference
+  // drain's full rescan covers this implicitly; the indexed scheduler
+  // must do it explicitly (found by the drain-equivalence sweep).
+  fire_txn_event(dot);
+  drain_self();
+}
+
+void VisibilityEngine::drain_self() {
+  if (mode_ == DrainMode::kFixpointReference) {
+    drain_fixpoint();
+  } else {
+    pump();
+  }
+}
+
+bool VisibilityEngine::apply_causal_engine(const Dot& dot) {
   const Transaction* txn = txns_.find(dot);
   COLONY_ASSERT(txn != nullptr, "apply_causal of unknown transaction");
   if (applied_.contains(dot)) return true;
@@ -97,9 +224,27 @@ bool VisibilityEngine::apply_causal(const Dot& dot) {
   for (const Dot& dep : txn->meta.pending_deps) {
     if (!applied_.contains(dep)) return false;
   }
-  apply_local(dot);
+  // Inline apply_local's tail (apply_local would also forward to the
+  // shadow, which runs its own apply_causal_engine with its own gate).
+  const bool masked = security_check_ != nullptr && !security_check_(*txn);
+  apply_ops(*txn, masked);
+  applied_.insert(dot);
+  if (masked) mark_masked(dot, *txn);
+  log_.append(dot);
+  if (txn->meta.concrete) advance_state(txn->meta);
+  if (visible_hook_ != nullptr && !masked) visible_hook_(*txn);
+  if (pending_set_.contains(dot)) {
+    remove_pending(dot);
+    std::erase(pending_, dot);
+  }
+  fire_apply_event(dot);
+  pump();
   return true;
 }
+
+// ---------------------------------------------------------------------------
+// Shared apply machinery.
+// ---------------------------------------------------------------------------
 
 void VisibilityEngine::apply_ops(const Transaction& txn, bool masked) {
   for (const OpRecord& op : txn.ops) {
@@ -108,7 +253,65 @@ void VisibilityEngine::apply_ops(const Transaction& txn, bool masked) {
   }
 }
 
-bool VisibilityEngine::try_apply(const Dot& dot) {
+void VisibilityEngine::mark_masked(const Dot& dot, const Transaction& txn) {
+  masked_.insert(dot);
+  auto& origin_bucket = masked_by_origin_[txn.meta.origin];
+  if (origin_bucket.empty() || origin_bucket.back() != dot) {
+    origin_bucket.push_back(dot);
+  }
+  for (const OpRecord& op : txn.ops) {
+    auto& key_bucket = masked_by_key_[op.key];
+    if (key_bucket.empty() || key_bucket.back() != dot) {
+      key_bucket.push_back(dot);
+    }
+  }
+}
+
+void VisibilityEngine::rebuild_masked_index() {
+  masked_by_origin_.clear();
+  masked_by_key_.clear();
+  std::unordered_set<Dot> tmp = std::move(masked_);
+  masked_.clear();
+  for (const Dot& dot : tmp) {
+    const Transaction* txn = txns_.find(dot);
+    if (txn == nullptr) {
+      masked_.insert(dot);
+      continue;
+    }
+    mark_masked(dot, *txn);
+  }
+}
+
+void VisibilityEngine::advance_state(const TxnMeta& meta) {
+  const VersionVector before = state_;
+  if (!sequential_) {
+    state_.merge(meta.commit_lub());
+  } else {
+    // Contiguous semantics: record the transaction's own commit slot(s) and
+    // only advance each component over its gap-free applied prefix. The
+    // snapshot part is safe to merge outright — it gated the apply (it was
+    // covered by state_ already) or arrived with a resolution, in which
+    // case it is some other replica's (prefix-sound) vector.
+    state_.merge(meta.snapshot);
+    meta.for_each_accepted([&](DcId dc) {
+      applied_slots_.record(Dot{dc, meta.commit.at(dc)});
+      const Timestamp prefix = applied_slots_.prefix(dc);
+      if (prefix > state_.at(dc)) state_.set(dc, prefix);
+    });
+  }
+  if (mode_ != DrainMode::kIndexed) return;
+  const DcId width = static_cast<DcId>(state_.size());
+  for (DcId dc = 0; dc < width; ++dc) {
+    if (state_.at(dc) > before.at(dc)) wake_state_component(dc);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fixpoint reference scheduler — the original drain, kept verbatim as the
+// executable specification the indexed scheduler is checked against.
+// ---------------------------------------------------------------------------
+
+bool VisibilityEngine::try_apply_fixpoint(const Dot& dot) {
   const Transaction* txn = txns_.find(dot);
   COLONY_ASSERT(txn != nullptr, "pending dot without transaction record");
   if (applied_.contains(dot)) return true;  // e.g. applied locally earlier
@@ -129,8 +332,7 @@ bool VisibilityEngine::try_apply(const Dot& dot) {
     if (txns_.visible_at(other, eff)) return false;
   }
 
-  bool masked =
-      security_check_ != nullptr && !security_check_(*txn);
+  bool masked = security_check_ != nullptr && !security_check_(*txn);
   if (!masked) {
     // Transitive masking (paper sections 2.4 / 5.3): a transaction that
     // causally follows a masked one AND depends on it through a data-flow
@@ -147,19 +349,20 @@ bool VisibilityEngine::try_apply(const Dot& dot) {
 
   apply_ops(*txn, masked);
   applied_.insert(dot);
-  if (masked) masked_.insert(dot);
+  if (masked) mark_masked(dot, *txn);
   log_.append(dot);
   advance_state(txn->meta);
   if (visible_hook_ != nullptr && !masked) visible_hook_(*txn);
   return true;
 }
 
-void VisibilityEngine::drain() {
+void VisibilityEngine::drain_fixpoint() {
   bool progress = true;
   while (progress) {
     progress = false;
     for (auto it = pending_.begin(); it != pending_.end();) {
-      if (try_apply(*it)) {
+      if (try_apply_fixpoint(*it)) {
+        pending_set_.erase(*it);
         it = pending_.erase(it);
         progress = true;
       } else {
@@ -169,19 +372,285 @@ void VisibilityEngine::drain() {
   }
 }
 
-void VisibilityEngine::apply_local(const Dot& dot) {
+// ---------------------------------------------------------------------------
+// Indexed wake-list scheduler.
+// ---------------------------------------------------------------------------
+
+void VisibilityEngine::add_pending(const Dot& dot) {
+  pending_set_.insert(dot);
+  if (mode_ == DrainMode::kFixpointReference) {
+    pending_.push_back(dot);
+  } else {
+    push_ready(dot);
+  }
+}
+
+void VisibilityEngine::remove_pending(const Dot& dot) {
+  pending_set_.erase(dot);
+  covered_pending_.erase(dot);
+  guard_gen_.erase(dot);
+}
+
+std::uint64_t VisibilityEngine::new_guard_gen(const Dot& dot) {
+  const std::uint64_t gen = ++guard_seq_;
+  guard_gen_[dot] = gen;
+  return gen;
+}
+
+void VisibilityEngine::guard_on_txn(const Dot& dot, const Dot& waits_on) {
+  wake_on_txn_[waits_on].push_back(WakeRef{dot, new_guard_gen(dot)});
+}
+
+void VisibilityEngine::guard_on_apply(const Dot& dot, const Dot& waits_on) {
+  wake_on_apply_[waits_on].push_back(WakeRef{dot, new_guard_gen(dot)});
+}
+
+void VisibilityEngine::guard_on_state(const Dot& dot, DcId dc,
+                                      Timestamp threshold) {
+  wake_on_state_[dc].emplace(threshold, WakeRef{dot, new_guard_gen(dot)});
+}
+
+void VisibilityEngine::fire_txn_event(const Dot& dot) {
+  if (mode_ != DrainMode::kIndexed) return;
+  // Coverage-index this dot BEFORE waking anything: a waiter examined
+  // first must see its (now concrete) causal predecessor in
+  // covered_pending_, or its within-batch order scan would let it apply
+  // ahead of the predecessor — same applied set, but a log order the
+  // reference never produces, which flips transitive ACL-mask decisions
+  // (found by the drain-equivalence sweep).
+  if (pending_set_.contains(dot)) {
+    const Transaction* txn = txns_.find(dot);
+    if (txn != nullptr && txn->meta.concrete) index_coverage(dot);
+  }
+  if (auto it = wake_on_txn_.find(dot); it != wake_on_txn_.end()) {
+    std::vector<WakeRef> refs = std::move(it->second);
+    wake_on_txn_.erase(it);
+    for (const WakeRef& ref : refs) {
+      const auto gen = guard_gen_.find(ref.dot);
+      if (gen != guard_gen_.end() && gen->second == ref.gen) {
+        push_ready(ref.dot);
+      }
+    }
+  }
+  // The record's own metadata changed (fresh, merged commit slots, or a
+  // resolved snapshot): any guard it registered may be stale — its
+  // effective snapshot can shrink as well as grow — so re-examine it from
+  // scratch rather than trusting the old threshold.
+  if (pending_set_.contains(dot)) {
+    new_guard_gen(dot);
+    push_ready(dot);
+  }
+}
+
+void VisibilityEngine::fire_apply_event(const Dot& dot) {
+  if (mode_ != DrainMode::kIndexed) return;
+  if (auto it = wake_on_apply_.find(dot); it != wake_on_apply_.end()) {
+    std::vector<WakeRef> refs = std::move(it->second);
+    wake_on_apply_.erase(it);
+    for (const WakeRef& ref : refs) {
+      const auto gen = guard_gen_.find(ref.dot);
+      if (gen != guard_gen_.end() && gen->second == ref.gen) {
+        push_ready(ref.dot);
+      }
+    }
+  }
+}
+
+void VisibilityEngine::wake_state_component(DcId dc) {
+  if (mode_ != DrainMode::kIndexed) return;
+  const Timestamp now = state_.at(dc);
+  if (auto it = coverage_queue_.find(dc); it != coverage_queue_.end()) {
+    auto& queue = it->second;
+    while (!queue.empty() && queue.begin()->first <= now) {
+      const Dot dot = queue.begin()->second;
+      queue.erase(queue.begin());
+      if (pending_set_.contains(dot)) covered_pending_.insert(dot);
+    }
+    if (queue.empty()) coverage_queue_.erase(it);
+  }
+  if (auto it = wake_on_state_.find(dc); it != wake_on_state_.end()) {
+    auto& queue = it->second;
+    while (!queue.empty() && queue.begin()->first <= now) {
+      const WakeRef ref = queue.begin()->second;
+      queue.erase(queue.begin());
+      const auto gen = guard_gen_.find(ref.dot);
+      if (gen != guard_gen_.end() && gen->second == ref.gen) {
+        push_ready(ref.dot);
+      }
+    }
+    if (queue.empty()) wake_on_state_.erase(it);
+  }
+}
+
+void VisibilityEngine::catch_up_state_wakes() {
+  if (mode_ != DrainMode::kIndexed) return;
+  std::vector<DcId> dcs;
+  dcs.reserve(coverage_queue_.size() + wake_on_state_.size());
+  for (const auto& [dc, _] : coverage_queue_) dcs.push_back(dc);
+  for (const auto& [dc, _] : wake_on_state_) dcs.push_back(dc);
+  for (DcId dc : dcs) wake_state_component(dc);
+}
+
+void VisibilityEngine::index_coverage(const Dot& dot) {
+  if (covered_pending_.contains(dot)) return;
   const Transaction* txn = txns_.find(dot);
-  COLONY_ASSERT(txn != nullptr, "apply_local of unknown transaction");
-  if (applied_.contains(dot)) return;
-  const bool masked =
-      security_check_ != nullptr && !security_check_(*txn);
+  bool covered = false;
+  txn->meta.for_each_accepted([&](DcId dc) {
+    if (covered) return;
+    if (txn->meta.commit.at(dc) <= state_.at(dc)) covered = true;
+  });
+  if (covered) {
+    covered_pending_.insert(dot);
+    return;
+  }
+  // Not covered by any accepted component yet: queue under each — any one
+  // of them crossing its threshold suffices. Re-registration after a
+  // metadata change may leave duplicate queue entries; pops tolerate them
+  // (covered_pending_ is a set).
+  txn->meta.for_each_accepted([&](DcId dc) {
+    coverage_queue_[dc].emplace(txn->meta.commit.at(dc), dot);
+  });
+}
+
+bool VisibilityEngine::masked_dependency_indexed(
+    const Transaction& txn, const VersionVector& eff) const {
+  const auto bucket_hits = [&](const std::vector<Dot>& bucket) {
+    for (const Dot& m : bucket) {
+      if (!masked_.contains(m)) continue;
+      if (txns_.visible_at(m, eff)) return true;
+    }
+    return false;
+  };
+  if (auto it = masked_by_origin_.find(txn.meta.origin);
+      it != masked_by_origin_.end() && bucket_hits(it->second)) {
+    return true;
+  }
+  for (const OpRecord& op : txn.ops) {
+    if (auto it = masked_by_key_.find(op.key);
+        it != masked_by_key_.end() && bucket_hits(it->second)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool VisibilityEngine::try_apply_indexed(const Dot& dot) {
+  const Transaction* txn = txns_.find(dot);
+  COLONY_ASSERT(txn != nullptr, "pending dot without transaction record");
+  if (applied_.contains(dot)) {  // e.g. applied locally earlier
+    remove_pending(dot);
+    return true;
+  }
+  if (!txn->meta.concrete) {
+    // Guard: own commit still symbolic — wake when this dot's record gains
+    // commit info (resolve / duplicate merge).
+    guard_on_txn(dot, dot);
+    return false;
+  }
+  // Concrete: make it discoverable by other candidates' batch-order scans
+  // even while it stays blocked on deps or state below.
+  index_coverage(dot);
+
+  for (const Dot& dep : txn->meta.pending_deps) {
+    const Transaction* d = txns_.find(dep);
+    if (d == nullptr || !d->meta.concrete) {
+      // Guard: dep unknown or symbolic — wake when the dep's record is
+      // ingested/admitted or resolves.
+      guard_on_txn(dot, dep);
+      return false;
+    }
+  }
+
+  VersionVector eff;
+  const bool have_eff = txns_.effective_snapshot(dot, eff);
+  COLONY_ASSERT(have_eff, "deps concrete but effective snapshot missing");
+  if (!eff.leq(state_)) {
+    // Guard: state-vector component below the effective snapshot — wake
+    // when that component reaches the threshold. Re-examination recomputes
+    // everything, so guarding the first lagging component is enough.
+    const DcId width = static_cast<DcId>(eff.size());
+    for (DcId dc = 0; dc < width; ++dc) {
+      if (eff.at(dc) > state_.at(dc)) {
+        guard_on_state(dot, dc, eff.at(dc));
+        return false;
+      }
+    }
+    COLONY_ASSERT(false, "eff not leq state but no lagging component");
+  }
+
+  // Within-batch causal order (see try_apply_fixpoint): defer behind any
+  // still-pending causal predecessor. Only a concrete pending transaction
+  // with an accepted commit component inside the state vector can satisfy
+  // visible_at(·, eff) with eff <= state_, and covered_pending_ is exactly
+  // the maintained superset of those — so scanning it replaces scanning
+  // all of pending_.
+  for (const Dot& other : covered_pending_) {
+    if (other == dot) continue;
+    if (txns_.visible_at(other, eff)) {
+      // Guard: wake when the predecessor applies (or its guards re-route
+      // it; acyclicity of causal visibility prevents wait cycles).
+      guard_on_apply(dot, other);
+      return false;
+    }
+  }
+
+  bool masked = security_check_ != nullptr && !security_check_(*txn);
+  if (!masked) masked = masked_dependency_indexed(*txn, eff);
+
+  remove_pending(dot);
   apply_ops(*txn, masked);
   applied_.insert(dot);
-  if (masked) masked_.insert(dot);
+  if (masked) mark_masked(dot, *txn);
   log_.append(dot);
-  if (txn->meta.concrete) advance_state(txn->meta);
+  advance_state(txn->meta);
   if (visible_hook_ != nullptr && !masked) visible_hook_(*txn);
+  fire_apply_event(dot);
+  return true;
 }
+
+void VisibilityEngine::pump() {
+  if (draining_ || mode_ != DrainMode::kIndexed) return;
+  draining_ = true;
+  while (!ready_.empty()) {
+    const Dot dot = ready_.front();
+    ready_.pop_front();
+    if (!pending_set_.contains(dot)) continue;
+    try_apply_indexed(dot);
+  }
+  draining_ = false;
+}
+
+void VisibilityEngine::set_drain_mode(DrainMode mode) {
+  if (mode == mode_) return;
+  mode_ = mode;
+  // Drop every scheduler structure and rebuild from the pending set.
+  wake_on_txn_.clear();
+  wake_on_apply_.clear();
+  wake_on_state_.clear();
+  coverage_queue_.clear();
+  covered_pending_.clear();
+  guard_gen_.clear();
+  ready_.clear();
+  pending_.clear();
+  if (mode == DrainMode::kFixpointReference) {
+    pending_.assign(pending_set_.begin(), pending_set_.end());
+    drain_fixpoint();
+  } else {
+    // Coverage-index every concrete pending txn up front (see
+    // fire_txn_event): the rebuild examines them in arbitrary order, and
+    // each batch-order scan must already see its covered predecessors.
+    for (const Dot& dot : pending_set_) {
+      const Transaction* txn = txns_.find(dot);
+      if (txn != nullptr && txn->meta.concrete) index_coverage(dot);
+    }
+    for (const Dot& dot : pending_set_) push_ready(dot);
+    pump();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mask recomputation, repair, equivalence.
+// ---------------------------------------------------------------------------
 
 std::size_t VisibilityEngine::recompute_masks() {
   std::unordered_set<Dot> new_masked;
@@ -214,23 +683,28 @@ std::size_t VisibilityEngine::recompute_masks() {
     if (was != masked) flipped.insert(dot);
   }
 
-  if (flipped.empty()) return 0;
-  masked_ = std::move(new_masked);
+  std::size_t result = 0;
+  if (!flipped.empty()) {
+    masked_ = std::move(new_masked);
+    rebuild_masked_index();
 
-  // Rebuild the current value of every object touched by a flipped txn.
-  std::vector<ObjectKey> to_rebuild;
-  for (const Dot& dot : flipped) {
-    const Transaction* txn = txns_.find(dot);
-    for (const OpRecord& op : txn->ops) to_rebuild.push_back(op.key);
+    // Rebuild the current value of every object touched by a flipped txn.
+    std::vector<ObjectKey> to_rebuild;
+    for (const Dot& dot : flipped) {
+      const Transaction* txn = txns_.find(dot);
+      for (const OpRecord& op : txn->ops) to_rebuild.push_back(op.key);
+    }
+    std::sort(to_rebuild.begin(), to_rebuild.end());
+    to_rebuild.erase(std::unique(to_rebuild.begin(), to_rebuild.end()),
+                     to_rebuild.end());
+    const auto visible = visible_predicate();
+    for (const ObjectKey& key : to_rebuild) {
+      store_.rebuild_current(key, visible);
+    }
+    result = flipped.size();
   }
-  std::sort(to_rebuild.begin(), to_rebuild.end());
-  to_rebuild.erase(std::unique(to_rebuild.begin(), to_rebuild.end()),
-                   to_rebuild.end());
-  const auto visible = visible_predicate();
-  for (const ObjectKey& key : to_rebuild) {
-    store_.rebuild_current(key, visible);
-  }
-  return flipped.size();
+  if (shadow_) shadow_->recompute_masks();
+  return result;
 }
 
 void VisibilityEngine::reapply_missing(const ObjectKey& key,
@@ -254,6 +728,37 @@ JournalStore::DotPredicate VisibilityEngine::visible_predicate() const {
   return [this](const Dot& dot) {
     return applied_.contains(dot) && !masked_.contains(dot);
   };
+}
+
+bool VisibilityEngine::shadow_matches(std::string* why) const {
+  if (!shadow_) return true;
+  const auto report = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  if (!shadow_divergence_.empty()) return report(shadow_divergence_);
+  if (applied_ != shadow_->applied_) {
+    std::ostringstream os;
+    os << "applied sets differ: indexed=" << applied_.size()
+       << " reference=" << shadow_->applied_.size();
+    return report(os.str());
+  }
+  if (masked_ != shadow_->masked_) {
+    std::ostringstream os;
+    os << "masked sets differ: indexed=" << masked_.size()
+       << " reference=" << shadow_->masked_.size();
+    return report(os.str());
+  }
+  if (!(state_.leq(shadow_->state_) && shadow_->state_.leq(state_))) {
+    return report("state vectors differ");
+  }
+  if (pending_set_ != shadow_->pending_set_) {
+    std::ostringstream os;
+    os << "pending sets differ: indexed=" << pending_set_.size()
+       << " reference=" << shadow_->pending_set_.size();
+    return report(os.str());
+  }
+  return true;
 }
 
 }  // namespace colony

@@ -7,13 +7,31 @@
 // the visibility log, and advances the replica's state vector. Transactions
 // whose dependencies are missing wait in a pending buffer.
 //
+// Two drain schedulers implement the same visibility relation (DESIGN.md
+// §8):
+//   * kIndexed (default): every blocked transaction registers ONE guard —
+//     the first unmet condition of its applicability check (own commit
+//     symbolic, a pending dep unknown/symbolic, a state-vector component
+//     below a threshold, or an unapplied causal predecessor) — and is
+//     re-examined only when that guard's wake event fires. Backlog drain is
+//     O(n log n) instead of the fixpoint's super-quadratic rescan.
+//   * kFixpointReference: the original rescan-until-no-progress drain, kept
+//     verbatim as the executable specification. The chaos equivalence sweep
+//     and the backlog benchmarks run both side by side.
+//
 // A security hook can veto visibility of a transaction's *values* (ACL
 // masking, sections 5.3/6.4): a masked transaction is still delivered and
 // still advances metadata, but its operations are excluded from
 // materialised values, transitively with its causal dependants.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -37,11 +55,21 @@ class VisibilityEngine {
   /// is fetched later). Replicas without a filter keep everything.
   using KeyFilter = std::function<bool(const ObjectKey&)>;
 
+  /// Which drain scheduler runs the pending buffer (see file header).
+  enum class DrainMode { kIndexed, kFixpointReference };
+
   VisibilityEngine(TxnStore& txns, JournalStore& store, std::size_t num_dcs);
 
   /// Ingest a transaction learned from the network or committed locally.
   /// Returns true if it was new (not a duplicate dot).
   bool ingest(Transaction txn);
+
+  /// Record a transaction in the backend WITHOUT scheduling it for
+  /// visibility (peer-group commands await external ordering before
+  /// apply_causal). Still fires dependency wakes: a pending transaction
+  /// waiting on this dot as an unknown dep must be re-examined.
+  /// Returns TxnStore::add's result.
+  bool admit(Transaction txn);
 
   /// Merge resolution info (a DC assigned dot's commit timestamp), then try
   /// to drain the pending buffer.
@@ -76,31 +104,33 @@ class VisibilityEngine {
   [[nodiscard]] bool is_masked(const Dot& dot) const {
     return masked_.contains(dot);
   }
-  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+  [[nodiscard]] std::size_t pending_count() const {
+    return pending_set_.size();
+  }
   /// Every applied dot (invariant checkers audit this against the log).
   [[nodiscard]] const std::unordered_set<Dot>& applied_set() const {
     return applied_;
   }
-
-  void set_security_check(SecurityCheck check) {
-    security_check_ = std::move(check);
+  /// Every masked dot (equivalence checkers compare this across drains).
+  [[nodiscard]] const std::unordered_set<Dot>& masked_set() const {
+    return masked_;
   }
+
+  void set_security_check(SecurityCheck check);
 
   /// Key of the policy object itself. Transactions touching it keep their
   /// at-apply mask decision during recompute_masks: re-judging an
   /// administrative change under the policy it created would let a
   /// bootstrap grant mask itself.
-  void set_policy_key(ObjectKey key) { policy_key_ = std::move(key); }
+  void set_policy_key(ObjectKey key);
   void set_visible_hook(VisibleHook hook) { visible_hook_ = std::move(hook); }
-  void set_key_filter(KeyFilter filter) { key_filter_ = std::move(filter); }
+  void set_key_filter(KeyFilter filter);
 
   /// Seed the state vector (e.g. from an initial checkout). Callers must
   /// guarantee the premise a seed asserts: every transaction below `v` is
   /// materialised here — via imported snapshots or delivered pushes.
-  void seed_state(const VersionVector& v) {
-    state_.merge(v);
-    seeded_cut_.merge(v);
-  }
+  /// Call drain() afterwards to apply anything the seed unblocked.
+  void seed_state(const VersionVector& v);
 
   /// Least upper bound of every cut ever seeded: the provable "I possess
   /// everything below this" baseline. The state vector itself can run
@@ -121,7 +151,7 @@ class VisibilityEngine {
   /// transaction of the same origin could become visible before its
   /// predecessor. Edge caches must NOT enable this: they skip transactions
   /// outside their interest cut and advance via seeded K-stable cuts.
-  void set_sequential_components(bool on) { sequential_ = on; }
+  void set_sequential_components(bool on);
 
   /// Re-evaluate the security mask over the whole history (after an ACL
   /// change) and rebuild affected objects' current values. Returns the
@@ -140,12 +170,86 @@ class VisibilityEngine {
   /// be replayed.
   void reapply_missing(const ObjectKey& key, const ObjectSnapshot& snap);
 
+  // --- drain-mode selection and equivalence checking -----------------------
+
+  /// Switch scheduler. Safe mid-run: the wake index (or the fixpoint scan
+  /// list) is rebuilt from the pending set and drained once.
+  void set_drain_mode(DrainMode mode);
+  [[nodiscard]] DrainMode drain_mode() const { return mode_; }
+
+  /// Default mode for newly constructed engines (benchmarks and the
+  /// equivalence sweep flip this before building a cluster).
+  static void set_default_drain_mode(DrainMode mode) { default_mode_ = mode; }
+  [[nodiscard]] static DrainMode default_drain_mode() { return default_mode_; }
+
+  /// When set, every engine constructed afterwards carries a *reference
+  /// shadow*: a second engine in kFixpointReference mode fed the exact
+  /// same event stream (sharing the TxnStore, applying into a throwaway
+  /// JournalStore). shadow_matches() then proves the indexed scheduler
+  /// computed the same applied set, masked set, and state vector.
+  static void set_shadow_default(bool on) { shadow_default_ = on; }
+
+  /// True when no shadow is attached, or the shadow agrees on applied set,
+  /// masked set, state vector, and pending count. On mismatch `why` (if
+  /// non-null) receives a description.
+  [[nodiscard]] bool shadow_matches(std::string* why = nullptr) const;
+  [[nodiscard]] const VisibilityEngine* shadow() const {
+    return shadow_.get();
+  }
+
  private:
-  bool try_apply(const Dot& dot);
+  VisibilityEngine(TxnStore& txns, JournalStore& store, std::size_t num_dcs,
+                   bool is_shadow);
+
+  // Shared apply tail (both schedulers, and apply_local).
   void apply_ops(const Transaction& txn, bool masked);
   /// Advance state_ with an applied transaction's commit knowledge —
-  /// contiguously per component when sequential_ is set.
+  /// contiguously per component when sequential_ is set. Fires state wakes
+  /// in indexed mode.
   void advance_state(const TxnMeta& meta);
+  void mark_masked(const Dot& dot, const Transaction& txn);
+
+  // Fixpoint reference scheduler (original semantics, kept verbatim).
+  bool try_apply_fixpoint(const Dot& dot);
+  void drain_fixpoint();
+
+  // Indexed wake-list scheduler.
+  bool try_apply_indexed(const Dot& dot);
+  void pump();
+  void push_ready(const Dot& dot) { ready_.push_back(dot); }
+  std::uint64_t new_guard_gen(const Dot& dot);
+  void guard_on_txn(const Dot& dot, const Dot& waits_on);
+  void guard_on_apply(const Dot& dot, const Dot& waits_on);
+  void guard_on_state(const Dot& dot, DcId dc, Timestamp threshold);
+  /// Wake everything blocked on `dot` being ingested or becoming concrete,
+  /// and re-examine `dot` itself if pending.
+  void fire_txn_event(const Dot& dot);
+  void fire_apply_event(const Dot& dot);
+  /// Pop state-threshold guards and coverage entries up to state_[dc].
+  void wake_state_component(DcId dc);
+  /// Pop every state/coverage queue against the current state vector.
+  void catch_up_state_wakes();
+  /// Register a concrete pending txn in the coverage index (the batch
+  /// causal-order check scans only covered pending txns).
+  void index_coverage(const Dot& dot);
+  void add_pending(const Dot& dot);
+  void remove_pending(const Dot& dot);
+  /// Data-flow masked-dependency test via the per-origin/per-key buckets
+  /// (indexed scheduler); the reference scans masked_ wholesale.
+  [[nodiscard]] bool masked_dependency_indexed(const Transaction& txn,
+                                               const VersionVector& eff) const;
+  void rebuild_masked_index();
+
+  // Event plumbing shared by primary and shadow (no TxnStore mutation).
+  /// Mode-dispatched drain of this engine only (no shadow forwarding).
+  void drain_self();
+  void on_ingested(const Dot& dot, bool fresh);
+  void on_admitted(const Dot& dot);
+  void on_resolution(const Dot& dot);
+  bool apply_causal_engine(const Dot& dot);
+
+  inline static DrainMode default_mode_ = DrainMode::kIndexed;
+  inline static bool shadow_default_ = false;
 
   TxnStore& txns_;
   JournalStore& store_;
@@ -158,11 +262,55 @@ class VisibilityEngine {
   VisibilityLog log_;
   std::unordered_set<Dot> applied_;
   std::unordered_set<Dot> masked_;
+  /// Pending membership (both modes). The vector preserves arrival order
+  /// for the fixpoint reference's scan; the indexed scheduler leaves it
+  /// empty and works off the wake index.
+  std::unordered_set<Dot> pending_set_;
   std::vector<Dot> pending_;
   SecurityCheck security_check_;
   VisibleHook visible_hook_;
   KeyFilter key_filter_;
   ObjectKey policy_key_;
+
+  // --- indexed-scheduler state ---------------------------------------------
+  DrainMode mode_;
+  /// Guard registrations are tagged with a generation; stale wake entries
+  /// (the dot re-registered elsewhere, or applied) are skipped on fire.
+  struct WakeRef {
+    Dot dot;
+    std::uint64_t gen = 0;
+  };
+  std::uint64_t guard_seq_ = 0;
+  std::unordered_map<Dot, std::uint64_t> guard_gen_;
+  /// dep dot -> waiters re-examined when the dep is ingested/admitted or
+  /// gains commit info (covers "dep unknown", "dep symbolic", and "own
+  /// commit symbolic" — the latter keyed by the waiter's own dot).
+  std::unordered_map<Dot, std::vector<WakeRef>> wake_on_txn_;
+  /// applied dot -> waiters deferred behind a still-pending causal
+  /// predecessor (the within-batch causal-order rule).
+  std::unordered_map<Dot, std::vector<WakeRef>> wake_on_apply_;
+  /// Per-DC threshold queues: woken when state_[dc] reaches the key.
+  std::unordered_map<DcId, std::multimap<Timestamp, WakeRef>> wake_on_state_;
+  /// Pending concrete txns with some accepted commit component inside the
+  /// state vector — the only txns a ready candidate can causally follow
+  /// (superset of {pending visible at any cut <= state}).
+  std::unordered_set<Dot> covered_pending_;
+  /// Not-yet-covered concrete pending txns, keyed per accepting DC by
+  /// commit[dc]; drained into covered_pending_ as state_[dc] advances.
+  std::unordered_map<DcId, std::multimap<Timestamp, Dot>> coverage_queue_;
+  std::deque<Dot> ready_;
+  bool draining_ = false;
+
+  /// Data-flow index over masked_: origin -> masked dots, key -> masked
+  /// dots. masked_dependency(txn, m) holds iff m is in txn's origin bucket
+  /// or in a bucket of a key txn touches.
+  std::unordered_map<NodeId, std::vector<Dot>> masked_by_origin_;
+  std::unordered_map<ObjectKey, std::vector<Dot>> masked_by_key_;
+
+  // --- reference shadow ----------------------------------------------------
+  std::unique_ptr<JournalStore> shadow_store_;
+  std::unique_ptr<VisibilityEngine> shadow_;
+  std::string shadow_divergence_;
 };
 
 }  // namespace colony

@@ -307,13 +307,10 @@ void DcNode::handle_edge_commit(NodeId /*from*/,
   // existing commit information instead of sequencing it twice.
   if (const Transaction* known = txns_.find(dot);
       known != nullptr && known->meta.concrete) {
-    for (DcId dc = 0; dc < 32; ++dc) {
-      if (known->meta.accepted_by(dc)) {
-        reply(codec::to_bytes(proto::EdgeCommitResp{
-            dot, dc, known->meta.commit.at(dc), known->meta.snapshot}));
-        return;
-      }
-    }
+    const DcId dc = known->meta.first_accepted();
+    reply(codec::to_bytes(proto::EdgeCommitResp{
+        dot, dc, known->meta.commit.at(dc), known->meta.snapshot}));
+    return;
   }
 
   // Resolve the symbolic snapshot: all same-origin pending deps must be
@@ -565,7 +562,7 @@ void DcNode::handle_replicate(const proto::ReplicateTxn& msg) {
 // ---------------------------------------------------------------------------
 
 void DcNode::on_message(NodeId from, std::uint32_t kind,
-                        const Bytes& body) {
+                        ByteView body) {
   switch (kind) {
     case proto::kReplicateTxn:
       handle_replicate(codec::from_bytes<proto::ReplicateTxn>(body));
@@ -602,7 +599,7 @@ void DcNode::on_message(NodeId from, std::uint32_t kind,
 }
 
 void DcNode::on_request(NodeId from, std::uint32_t method,
-                        const Bytes& payload, ReplyFn reply) {
+                        ByteView payload, ReplyFn reply) {
   // Client-facing requests queue behind the DC's logical CPU; the queueing
   // delay under load is what bends the Figure 4 latency curve upward.
   const SimTime service = method == proto::kDcExecute
@@ -610,9 +607,12 @@ void DcNode::on_request(NodeId from, std::uint32_t method,
                               : config_.rpc_service_time;
   const SimTime start = std::max(net_.now(), busy_until_);
   busy_until_ = start + service;
+  // The deferred dispatch outlives the delivered frame, so it owns a copy
+  // of the payload (the one place the request path still materialises).
   net_.scheduler().at(
       busy_until_,
-      [this, from, method, payload, reply = std::move(reply)]() mutable {
+      [this, from, method, payload = Bytes(payload.begin(), payload.end()),
+       reply = std::move(reply)]() mutable {
         dispatch_request(from, method, payload, std::move(reply));
       });
 }

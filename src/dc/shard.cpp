@@ -47,7 +47,7 @@ void ShardServer::serve_ready_reads() {
 }
 
 void ShardServer::on_message(NodeId /*from*/, std::uint32_t kind,
-                             const Bytes& body) {
+                             ByteView body) {
   switch (kind) {
     case proto::kShardApply: {
       const auto msg = codec::from_bytes<proto::ShardApplyMsg>(body);
@@ -72,7 +72,7 @@ void ShardServer::on_message(NodeId /*from*/, std::uint32_t kind,
 }
 
 void ShardServer::on_request(NodeId /*from*/, std::uint32_t method,
-                             const Bytes& payload, ReplyFn reply) {
+                             ByteView payload, ReplyFn reply) {
   switch (method) {
     case proto::kShardRead: {
       const auto req = codec::from_bytes<proto::ShardReadReq>(payload);

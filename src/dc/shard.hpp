@@ -38,9 +38,9 @@ class ShardServer final : public sim::RpcActor {
 
  protected:
   void on_message(NodeId from, std::uint32_t kind,
-                  const Bytes& body) override;
-  void on_request(NodeId from, std::uint32_t method, const Bytes& payload,
-                  ReplyFn reply) override;
+                  ByteView body) override;
+  void on_request(NodeId from, std::uint32_t method,
+                  ByteView payload, ReplyFn reply) override;
 
  private:
   struct PendingRead {

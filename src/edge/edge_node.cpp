@@ -346,7 +346,9 @@ void EdgeNode::commit_ordered(Txn&& txn, CommitCb cb) {
   }
 
   for (const OpRecord& op : record.ops) admit(op.key);
-  txns_.add(record);  // not applied until consensus orders it (variant 1)
+  // Stored but not applied until consensus orders it (variant 1); going
+  // through the engine lets pending dependants see the record arrive.
+  engine_.admit(record);
   consensus::Command cmd{dot, keys, gc.to_bytes()};
   group_->pending_cmds.emplace(dot, cmd);
   group_->undelivered.insert(dot);
@@ -662,7 +664,7 @@ void EdgeNode::drain_group_queue() {
 // ---------------------------------------------------------------------------
 
 void EdgeNode::on_message(NodeId from, std::uint32_t kind,
-                          const Bytes& body) {
+                          ByteView body) {
   (void)from;
   switch (kind) {
     case proto::kPushTxn: {
@@ -736,7 +738,7 @@ void EdgeNode::on_message(NodeId from, std::uint32_t kind,
 }
 
 void EdgeNode::on_request(NodeId /*from*/, std::uint32_t method,
-                          const Bytes& payload, ReplyFn reply) {
+                          ByteView payload, ReplyFn reply) {
   switch (method) {
     case proto::kPeerFetch: {
       // Collaborative cache: serve a neighbour from the local cache.

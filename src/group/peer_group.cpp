@@ -175,14 +175,11 @@ void PeerGroupParent::on_group_deliver(const consensus::Command& cmd) {
     // unacked queue can drain.
     const Transaction* txn = txns_.find(dot);
     if (txn != nullptr && txn->meta.concrete) {
-      for (DcId dc = 0; dc < 32; ++dc) {
-        if (!txn->meta.accepted_by(dc)) continue;
-        const proto::ResolutionMsg relay{dot, dc, txn->meta.commit.at(dc),
-                                         txn->meta.snapshot};
-        for (const NodeId m : members_) {
-          tell(m, proto::kResolutionRelay, relay);
-        }
-        break;
+      const DcId dc = txn->meta.first_accepted();
+      const proto::ResolutionMsg relay{dot, dc, txn->meta.commit.at(dc),
+                                       txn->meta.snapshot};
+      for (const NodeId m : members_) {
+        tell(m, proto::kResolutionRelay, relay);
       }
     }
   }
@@ -381,7 +378,7 @@ void PeerGroupParent::handle_peer_fetch(NodeId from,
 // ---------------------------------------------------------------------------
 
 void PeerGroupParent::on_message(NodeId from, std::uint32_t kind,
-                                 const Bytes& body) {
+                                 ByteView body) {
   switch (kind) {
     case proto::kEpaxos: {
       const auto env = codec::from_bytes<proto::EpaxosEnvelope>(body);
@@ -439,7 +436,7 @@ void PeerGroupParent::on_message(NodeId from, std::uint32_t kind,
 }
 
 void PeerGroupParent::on_request(NodeId from, std::uint32_t method,
-                                 const Bytes& payload, ReplyFn reply) {
+                                 ByteView payload, ReplyFn reply) {
   switch (method) {
     case proto::kGroupJoin:
       handle_join(from, codec::from_bytes<proto::GroupJoinReq>(payload),

@@ -9,23 +9,20 @@ namespace colony::sim {
 
 namespace frame {
 
-Bytes encode(std::uint32_t kind, const Bytes& payload) {
+Bytes encode(std::uint32_t kind, ByteView payload) {
   Encoder enc;
+  enc.reserve(kOverheadBytes + payload.size());
   enc.u32(kind);
   enc.u32(static_cast<std::uint32_t>(payload.size()));
   enc.raw(payload);
-  Bytes frm = enc.take();
-  const std::uint32_t crc = crc32(frm);
-  Encoder trailer;
-  trailer.u32(crc);
-  frm.insert(frm.end(), trailer.data().begin(), trailer.data().end());
-  return frm;
+  enc.u32(crc32(enc.data()));  // trailer over header+payload, in place
+  return enc.take();
 }
 
-std::optional<View> decode(const Bytes& frm) {
+std::optional<ViewRef> decode_view(ByteView frm) {
   if (frm.size() < kOverheadBytes) return std::nullopt;
   Decoder dec(frm);
-  View view;
+  ViewRef view;
   view.kind = dec.u32();
   const std::uint32_t len = dec.u32();
   if (len != frm.size() - kOverheadBytes) return std::nullopt;
@@ -34,9 +31,14 @@ std::optional<View> decode(const Bytes& frm) {
   std::memcpy(&stored, frm.data() + frm.size() - kTrailerBytes,
               sizeof(stored));
   if (stored != expected) return std::nullopt;
-  view.payload.assign(frm.begin() + static_cast<std::ptrdiff_t>(kHeaderBytes),
-                      frm.end() - static_cast<std::ptrdiff_t>(kTrailerBytes));
+  view.payload = frm.subspan(kHeaderBytes, len);
   return view;
+}
+
+std::optional<View> decode(const Bytes& frm) {
+  const auto ref = decode_view(frm);
+  if (!ref) return std::nullopt;
+  return View{ref->kind, Bytes(ref->payload.begin(), ref->payload.end())};
 }
 
 }  // namespace frame
@@ -197,7 +199,7 @@ void Network::deliver(NodeId from, NodeId to, Bytes frm, SimTime when) {
     // Verify the checksum at the receiver: a frame damaged in flight is
     // detected and dropped — corruption degrades to loss, which the upper
     // layers already handle (timeouts, session rewind).
-    const auto view = frame::decode(frm);
+    const auto view = frame::decode_view(frm);
     if (!view) {
       ++dropped_;
       ++corruption_detected_;

@@ -44,18 +44,32 @@ inline constexpr std::size_t kHeaderBytes = 8;   // kind u32 + length u32
 inline constexpr std::size_t kTrailerBytes = 4;  // crc32 of header+payload
 inline constexpr std::size_t kOverheadBytes = kHeaderBytes + kTrailerBytes;
 
-/// Seal a payload into a checksummed frame.
-[[nodiscard]] Bytes encode(std::uint32_t kind, const Bytes& payload);
+/// Seal a payload into a checksummed frame. One allocation: the buffer is
+/// reserved at full frame size up front and the trailer is appended in
+/// place (no second encoder, no insert-splice).
+[[nodiscard]] Bytes encode(std::uint32_t kind, ByteView payload);
 
+/// Owning decoded frame (stored/queued copies).
 struct View {
   std::uint32_t kind = 0;
   Bytes payload;
+};
+
+/// Non-owning decoded frame: `payload` points into the frame buffer passed
+/// to decode_view and is valid only as long as that buffer.
+struct ViewRef {
+  std::uint32_t kind = 0;
+  ByteView payload;
 };
 
 /// Validate and open a frame: nullopt on truncation, a length prefix that
 /// disagrees with the frame size, or a checksum mismatch — i.e. any flipped
 /// bit is detected and surfaces as loss, never as a wrong value.
 [[nodiscard]] std::optional<View> decode(const Bytes& frm);
+
+/// Same validation, zero-copy: the hot delivery path opens the frame in
+/// place and hands the payload view straight to the actor.
+[[nodiscard]] std::optional<ViewRef> decode_view(ByteView frm);
 
 }  // namespace frame
 
@@ -112,9 +126,11 @@ class Actor {
  protected:
   friend class Network;
 
-  /// A checksum-verified frame: `body` is the payload bytes, which the
-  /// actor decodes according to `kind` (decode-at-receive on every hop).
-  virtual void handle(NodeId from, std::uint32_t kind, const Bytes& body) = 0;
+  /// A checksum-verified frame: `body` is a view of the payload bytes
+  /// (valid for the duration of the call only), which the actor decodes
+  /// according to `kind` (decode-at-receive on every hop). Anything kept
+  /// past the call must be copied out explicitly.
+  virtual void handle(NodeId from, std::uint32_t kind, ByteView body) = 0;
 
   Network& net_;
 

@@ -24,11 +24,11 @@ void RpcActor::call(NodeId to, std::uint32_t method, Bytes payload,
   });
 }
 
-void RpcActor::handle(NodeId from, std::uint32_t kind, const Bytes& body) {
+void RpcActor::handle(NodeId from, std::uint32_t kind, ByteView body) {
   if ((kind & kRpcRequestFlag) != 0) {
     Decoder dec(body);
     const std::uint64_t rpc_id = dec.u64();
-    Bytes payload = dec.tail();
+    const ByteView payload = dec.tail_view();
     COLONY_ASSERT(dec.ok(), "malformed rpc request envelope");
     const std::uint32_t method = kind & kRpcKindMask;
     const NodeId client = from;
@@ -40,7 +40,8 @@ void RpcActor::handle(NodeId from, std::uint32_t kind, const Bytes& body) {
         enc.raw(result.value());
       } else {
         const std::string& msg = result.error().message;
-        enc.raw(Bytes(msg.begin(), msg.end()));
+        enc.raw(ByteView(reinterpret_cast<const std::uint8_t*>(msg.data()),
+                         msg.size()));
       }
       net_.send(id(), client, method | kRpcResponseFlag, enc.take());
     };

@@ -60,19 +60,21 @@ class RpcActor : public Actor {
   }
 
  protected:
-  /// One-way messages (no RPC envelope flag). `body` is the payload of a
-  /// checksum-verified frame; implementations decode it by `kind`.
-  virtual void on_message(NodeId from, std::uint32_t kind,
-                          const Bytes& body) = 0;
+  /// One-way messages (no RPC envelope flag). `body` is a view of the
+  /// payload of a checksum-verified frame, valid for the duration of the
+  /// call; implementations decode it by `kind` and copy out anything they
+  /// keep.
+  virtual void on_message(NodeId from, std::uint32_t kind, ByteView body) = 0;
 
-  /// Incoming RPC. Implementations must eventually invoke `reply` with the
-  /// encoded response (calling it after the client timed out is harmless —
-  /// the client ignores it).
-  virtual void on_request(NodeId from, std::uint32_t method,
-                          const Bytes& payload, ReplyFn reply) = 0;
+  /// Incoming RPC. `payload` is a view valid for the duration of the call.
+  /// Implementations must eventually invoke `reply` with the encoded
+  /// response (calling it after the client timed out is harmless — the
+  /// client ignores it).
+  virtual void on_request(NodeId from, std::uint32_t method, ByteView payload,
+                          ReplyFn reply) = 0;
 
  private:
-  void handle(NodeId from, std::uint32_t kind, const Bytes& body) final;
+  void handle(NodeId from, std::uint32_t kind, ByteView body) final;
 
   std::uint64_t next_rpc_id_ = 1;
   std::unordered_map<std::uint64_t, ResponseFn> pending_;

@@ -8,6 +8,7 @@
 #include <array>
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,12 @@
 namespace colony {
 
 using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning view of encoded bytes. The receive hot path decodes straight
+/// out of the delivered frame: a ByteView never copies, so anything that
+/// must outlive the handler call (a stored payload, a queued message) has
+/// to be materialised into Bytes explicitly.
+using ByteView = std::span<const std::uint8_t>;
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `n` bytes.
 /// Used as the frame checksum of the simulated transport: flipped bits on a
@@ -40,13 +47,18 @@ using Bytes = std::vector<std::uint8_t>;
   return crc ^ 0xFFFFFFFFu;
 }
 
-[[nodiscard]] inline std::uint32_t crc32(const Bytes& data) {
+[[nodiscard]] inline std::uint32_t crc32(ByteView data) {
   return crc32(data.data(), data.size());
 }
 
 /// Append-only encoder.
 class Encoder {
  public:
+  /// Ensure capacity for `n` more bytes beyond what is already buffered.
+  /// Frame encoders size the whole message up front so header, payload and
+  /// trailer land in one allocation.
+  void reserve(std::size_t n) { buf_.reserve(buf_.size() + n); }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v) { fixed(v); }
   void u32(std::uint32_t v) { fixed(v); }
@@ -65,14 +77,18 @@ class Encoder {
     buf_.insert(buf_.end(), s.begin(), s.end());
   }
 
-  void bytes(const Bytes& b) {
+  void bytes(ByteView b) {
     COLONY_ASSERT(b.size() <= UINT32_MAX, "buffer exceeds u32 length prefix");
+    reserve(sizeof(std::uint32_t) + b.size());
     u32(static_cast<std::uint32_t>(b.size()));
     buf_.insert(buf_.end(), b.begin(), b.end());
   }
 
   /// Append raw bytes with no length prefix (framing owns the length).
-  void raw(const Bytes& b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+  void raw(ByteView b) {
+    reserve(b.size());
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
 
   [[nodiscard]] const Bytes& data() const { return buf_; }
   [[nodiscard]] Bytes take() { return std::move(buf_); }
@@ -97,7 +113,9 @@ class Encoder {
 /// malformed unless encode and decode disagree.
 class Decoder {
  public:
-  explicit Decoder(const Bytes& data) : data_(data) {}
+  /// The view (and therefore the buffer behind it) must outlive the
+  /// decoder AND any view handed out by bytes_view()/tail_view().
+  explicit Decoder(ByteView data) : data_(data) {}
 
   std::uint8_t u8() { return take<std::uint8_t>(); }
   std::uint16_t u16() { return take<std::uint16_t>(); }
@@ -121,19 +139,31 @@ class Decoder {
   }
 
   Bytes bytes() {
+    const ByteView v = bytes_view();
+    return Bytes(v.begin(), v.end());
+  }
+
+  /// Length-prefixed payload as a view into the underlying buffer (no
+  /// copy). Valid only as long as the buffer the decoder reads from.
+  ByteView bytes_view() {
     const std::uint32_t n = u32();
     if (!require(n)) return {};
-    Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    const ByteView v = data_.subspan(pos_, n);
     pos_ += n;
-    return b;
+    return v;
   }
 
   /// Consume and return everything left (unprefixed trailing payload).
   Bytes tail() {
-    Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_), data_.end());
+    const ByteView v = tail_view();
+    return Bytes(v.begin(), v.end());
+  }
+
+  /// Remaining bytes as a view into the underlying buffer (no copy).
+  ByteView tail_view() {
+    const ByteView v = data_.subspan(pos_);
     pos_ = data_.size();
-    return b;
+    return v;
   }
 
   /// False once any read ran past the end of the buffer.
@@ -164,7 +194,7 @@ class Decoder {
     return true;
   }
 
-  const Bytes& data_;
+  ByteView data_;
   std::size_t pos_ = 0;
   bool failed_ = false;
 };

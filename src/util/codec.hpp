@@ -232,9 +232,10 @@ template <typename T>
 }
 
 /// Decode from untrusted bytes; nullopt on truncation, trailing garbage,
-/// or any malformed length prefix.
+/// or any malformed length prefix. Accepts a view: the receive path hands
+/// in the delivered frame's payload without copying it first.
 template <typename T>
-[[nodiscard]] std::optional<T> try_from_bytes(const Bytes& bytes) {
+[[nodiscard]] std::optional<T> try_from_bytes(ByteView bytes) {
   Decoder dec(bytes);
   T out = read<T>(dec);
   if (!dec.ok() || !dec.done()) return std::nullopt;
@@ -244,7 +245,7 @@ template <typename T>
 /// Decode from trusted bytes (a checksum-verified frame): a decode failure
 /// here means encode and decode disagree, which is a bug, so it asserts.
 template <typename T>
-[[nodiscard]] T from_bytes(const Bytes& bytes) {
+[[nodiscard]] T from_bytes(ByteView bytes) {
   Decoder dec(bytes);
   T out = read<T>(dec);
   COLONY_ASSERT(dec.ok() && dec.done(), "message codec round-trip mismatch");

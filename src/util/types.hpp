@@ -17,6 +17,13 @@ namespace colony {
 /// component per DcId, which is what bounds metadata to O(#DCs).
 using DcId = std::uint32_t;
 
+/// Upper bound on the number of data centres. Commit metadata stores the
+/// set of accepting DCs as a fixed-width bitmask (TxnMeta::accepted_mask),
+/// so this constant and that mask width must agree — a static_assert next
+/// to the mask ties them together. Every "for each DC" loop derives its
+/// bound from the mask or the vector at hand, never from this literal.
+inline constexpr DcId kMaxDcs = 32;
+
 /// Globally unique identifier of a node (DC, border PoP, or far-edge
 /// device). DCs occupy the low range [0, kMaxDcs); edge nodes are assigned
 /// ids above it by the topology builder.

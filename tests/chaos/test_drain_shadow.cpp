@@ -1,0 +1,83 @@
+// Chaos-level drain equivalence: run the full fault-schedule sweep with a
+// kFixpointReference shadow attached to EVERY visibility engine in the
+// cluster (DC replicas and edge caches), and require the indexed scheduler
+// to agree with the reference on applied set, masked set, state vector,
+// and pending set at the end of each run — under partitions, duplication,
+// reordering, migration, and reconnection backlogs.
+//
+// This complements tests/test_drain_equivalence.cpp (pure-engine seeded
+// histories, per-event assertions): here the event stream is whatever the
+// real protocol stack produces.
+//
+// Seed range overrides, as in test_chaos_sweep.cpp:
+//   COLONY_DRAIN_SHADOW_SEED_BASE  first seed (default 1)
+//   COLONY_DRAIN_SHADOW_SEEDS      how many consecutive seeds (default 100)
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "chaos_harness.hpp"
+#include "core/visibility.hpp"
+
+namespace colony::chaos_test {
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const std::uint64_t parsed = std::strtoull(v, nullptr, 10);
+  return parsed == 0 ? fallback : parsed;
+}
+
+std::vector<std::uint64_t> shadow_seeds() {
+  const std::uint64_t base = env_u64("COLONY_DRAIN_SHADOW_SEED_BASE", 1);
+  const std::uint64_t count = env_u64("COLONY_DRAIN_SHADOW_SEEDS", 100);
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) seeds.push_back(base + i);
+  return seeds;
+}
+
+/// RAII: every engine constructed inside carries a reference shadow.
+struct ShadowScope {
+  ShadowScope() { VisibilityEngine::set_shadow_default(true); }
+  ~ShadowScope() { VisibilityEngine::set_shadow_default(false); }
+};
+
+class DrainShadowSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DrainShadowSweep, IndexedDrainMatchesReferenceUnderChaos) {
+  HarnessConfig cfg;
+  cfg.seed = GetParam();
+
+  ShadowScope shadows;
+  Harness harness(cfg);
+  const RunResult result = harness.run();
+  EXPECT_TRUE(result.ok()) << "seed " << cfg.seed
+                           << " baseline invariants failed:\n"
+                           << result.report.to_string();
+
+  const Cluster& cluster = harness.cluster();
+  std::string why;
+  for (DcId d = 0; d < cluster.num_dcs(); ++d) {
+    EXPECT_TRUE(cluster.dc(d).engine().shadow_matches(&why))
+        << "seed " << cfg.seed << " dc" << d
+        << " diverged from reference drain: " << why;
+  }
+  for (std::size_t i = 0; i < cluster.num_edges(); ++i) {
+    EXPECT_TRUE(cluster.edge(i).engine().shadow_matches(&why))
+        << "seed " << cfg.seed << " edge" << i
+        << " diverged from reference drain: " << why;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DrainShadowSweep,
+                         ::testing::ValuesIn(shadow_seeds()),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace colony::chaos_test

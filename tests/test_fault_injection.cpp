@@ -20,7 +20,7 @@ struct Recorder final : sim::Actor {
   Recorder(sim::Network& net, NodeId id) : Actor(net, id) {}
   std::vector<std::uint32_t> received;
   void handle(NodeId /*from*/, std::uint32_t kind,
-              const Bytes& /*body*/) override {
+              ByteView /*body*/) override {
     received.push_back(kind);
   }
 };

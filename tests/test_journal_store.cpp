@@ -124,6 +124,42 @@ TEST(JournalStore, EraseForgetsObject) {
   EXPECT_EQ(js.materialize(kKey, [](const Dot&) { return true; }), nullptr);
 }
 
+TEST(JournalStore, BakedDotRejectedAfterAdvanceBase) {
+  // The O(1) base-dot hash set: once advance_base bakes a dot into the
+  // base version, a re-delivery of the same op must be dropped — not
+  // re-journalled, not double-counted — and the audit list must show the
+  // dot exactly once.
+  JournalStore js;
+  js.apply(kKey, CrdtType::kPnCounter, Dot{1, 1}, PnCounter::prepare_add(4));
+  js.advance_base(kKey, [](const Dot&) { return true; });
+  EXPECT_EQ(js.journal_length(kKey), 0u);
+
+  js.apply(kKey, CrdtType::kPnCounter, Dot{1, 1}, PnCounter::prepare_add(4));
+  EXPECT_EQ(js.journal_length(kKey), 0u);
+  EXPECT_EQ(dynamic_cast<const PnCounter*>(js.current(kKey))->value(), 4);
+  EXPECT_EQ(js.applied_dots(kKey), (std::vector<Dot>{{1, 1}}));
+}
+
+TEST(JournalStore, BakedDotSetSurvivesManyBaseAdvances) {
+  // Repeated advance_base cycles accumulate base dots; every one of them
+  // must keep rejecting duplicates (regression for the set being rebuilt
+  // from only the latest batch).
+  JournalStore js;
+  for (Timestamp ts = 1; ts <= 20; ++ts) {
+    js.apply(kKey, CrdtType::kPnCounter, Dot{1, ts},
+             PnCounter::prepare_add(1));
+    if (ts % 4 == 0) js.advance_base(kKey, [](const Dot&) { return true; });
+  }
+  js.advance_base(kKey, [](const Dot&) { return true; });
+  for (Timestamp ts = 1; ts <= 20; ++ts) {
+    js.apply(kKey, CrdtType::kPnCounter, Dot{1, ts},
+             PnCounter::prepare_add(1));
+  }
+  EXPECT_EQ(js.journal_length(kKey), 0u);
+  EXPECT_EQ(dynamic_cast<const PnCounter*>(js.current(kKey))->value(), 20);
+  EXPECT_EQ(js.applied_dots(kKey).size(), 20u);
+}
+
 TEST(JournalStore, KeysEnumerates) {
   JournalStore js;
   js.ensure({"b", "x"}, CrdtType::kGSet);

@@ -12,7 +12,7 @@ struct Recorder final : Actor {
   std::vector<std::pair<std::uint32_t, SimTime>> received;
 
   void handle(NodeId /*from*/, std::uint32_t kind,
-              const Bytes& /*body*/) override {
+              ByteView /*body*/) override {
     received.emplace_back(kind, net_.now());
   }
 };

@@ -13,8 +13,8 @@ struct EchoServer final : RpcActor {
   bool defer = false;
   ReplyFn deferred;
 
-  void on_message(NodeId, std::uint32_t, const Bytes&) override {}
-  void on_request(NodeId /*from*/, std::uint32_t method, const Bytes& payload,
+  void on_message(NodeId, std::uint32_t, ByteView) override {}
+  void on_request(NodeId /*from*/, std::uint32_t method, ByteView payload,
                   ReplyFn reply) override {
     if (method == 99) {
       reply(Error{Error::Code::kInvalidArgument, "bad method"});
@@ -30,8 +30,8 @@ struct EchoServer final : RpcActor {
 
 struct Client final : RpcActor {
   Client(Network& net, NodeId id) : RpcActor(net, id) {}
-  void on_message(NodeId, std::uint32_t, const Bytes&) override {}
-  void on_request(NodeId, std::uint32_t, const Bytes&,
+  void on_message(NodeId, std::uint32_t, ByteView) override {}
+  void on_request(NodeId, std::uint32_t, ByteView,
                   ReplyFn reply) override {
     reply(Error{Error::Code::kInvalidArgument, "not a server"});
   }

@@ -16,8 +16,8 @@ class ShardTest : public ::testing::Test {
 
   struct Client final : sim::RpcActor {
     Client(sim::Network& net, NodeId id) : RpcActor(net, id) {}
-    void on_message(NodeId, std::uint32_t, const Bytes&) override {}
-    void on_request(NodeId, std::uint32_t, const Bytes&,
+    void on_message(NodeId, std::uint32_t, ByteView) override {}
+    void on_request(NodeId, std::uint32_t, ByteView,
                     ReplyFn reply) override {
       reply(Error{Error::Code::kInvalidArgument, "not a server"});
     }

@@ -24,8 +24,8 @@ struct Recorder final : sim::Actor {
   std::vector<std::pair<std::uint32_t, Bytes>> received;
   std::vector<SimTime> arrival_times;
   void handle(NodeId /*from*/, std::uint32_t kind,
-              const Bytes& body) override {
-    received.emplace_back(kind, body);
+              ByteView body) override {
+    received.emplace_back(kind, Bytes(body.begin(), body.end()));
     arrival_times.push_back(net_.now());
   }
 };
@@ -176,10 +176,10 @@ TEST(WireTransport, WireStatsMeterPerLinkAndPerKind) {
 TEST(WireTransport, RpcTrafficAggregatesUnderItsMethodKind) {
   struct Server final : sim::RpcActor {
     Server(sim::Network& net, NodeId id) : RpcActor(net, id) {}
-    void on_message(NodeId, std::uint32_t, const Bytes&) override {}
-    void on_request(NodeId, std::uint32_t, const Bytes& payload,
+    void on_message(NodeId, std::uint32_t, ByteView) override {}
+    void on_request(NodeId, std::uint32_t, ByteView payload,
                     ReplyFn reply) override {
-      reply(payload);  // echo
+      reply(Bytes(payload.begin(), payload.end()));  // echo
     }
   };
   sim::Scheduler sched;
@@ -187,8 +187,8 @@ TEST(WireTransport, RpcTrafficAggregatesUnderItsMethodKind) {
   Server server(net, 1);
   struct Client final : sim::RpcActor {
     Client(sim::Network& net, NodeId id) : RpcActor(net, id) {}
-    void on_message(NodeId, std::uint32_t, const Bytes&) override {}
-    void on_request(NodeId, std::uint32_t, const Bytes&,
+    void on_message(NodeId, std::uint32_t, ByteView) override {}
+    void on_request(NodeId, std::uint32_t, ByteView,
                     ReplyFn reply) override {
       reply(Error{Error::Code::kInvalidArgument, "not a server"});
     }
