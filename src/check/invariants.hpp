@@ -81,6 +81,14 @@ void check_k_stability(const Cluster& cluster, Report& report);
 /// delivery.
 void check_exactly_once(const Cluster& cluster, Report& report);
 
+/// Durability (quiescent cluster only): every WAL-backed replica must be
+/// recoverable in place — an offline twin rebuilt from a copy of its log
+/// matches the live node's durable projection byte-for-byte. Nodes without
+/// a disk, crashed nodes, and edges whose state includes unlogged inputs
+/// (peer-group consensus, LRU cache eviction order) are skipped; see
+/// DcNode::verify_recovery / EdgeNode::verify_recovery.
+void check_durability(const Cluster& cluster, Report& report);
+
 /// End-to-end counter ledger (quiescent cluster only): each PN-counter in
 /// `expected` must have converged to exactly the total the workload
 /// committed — a lost increment (dropped txn) or an extra one (double

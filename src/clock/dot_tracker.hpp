@@ -29,6 +29,12 @@ class DotTracker {
   /// Number of origins tracked (for introspection/tests).
   [[nodiscard]] std::size_t origins() const { return state_.size(); }
 
+  /// Checkpoint serialization. Deterministic: origins encode in sorted
+  /// order (the backing map is unordered). decode() replaces contents.
+  void encode(Encoder& enc) const;
+  void decode(Decoder& dec);
+  void clear() { state_.clear(); }
+
  private:
   struct PerOrigin {
     std::uint64_t prefix = 0;         // all counters <= prefix are seen

@@ -25,6 +25,11 @@ class HybridLogicalClock {
 
   [[nodiscard]] Timestamp last() const { return last_; }
 
+  /// Crash-recovery: reload the persisted high-water mark. Monotonicity is
+  /// preserved because the durable value is at least as fresh as any
+  /// timestamp this clock handed out before the crash.
+  void restore(Timestamp last) { last_ = last; }
+
  private:
   Timestamp last_ = 0;
 };

@@ -44,6 +44,9 @@ Cluster::Cluster(ClusterConfig config)
     dc_config.gossip_interval = config_.dc_gossip_interval;
     dc_config.rpc_service_time = config_.dc_rpc_service_time;
     dc_config.push_service_time = config_.dc_push_service_time;
+    auto& disk = disks_[dc_node_id(d)];
+    disk = std::make_unique<storage::Wal>();
+    dc_config.disk = disk.get();
     dcs_.push_back(std::make_unique<DcNode>(net_, dc_node_id(d), dc_config,
                                             std::move(peers), shard_ids[d]));
   }
@@ -65,6 +68,9 @@ EdgeNode& Cluster::add_edge(ClientMode mode, DcId dc, UserId user,
   cfg.user = user;
   cfg.num_dcs = config_.num_dcs;
   cfg.cache_capacity = cache_capacity;
+  auto& disk = disks_[id];
+  disk = std::make_unique<storage::Wal>();
+  cfg.disk = disk.get();
   edges_.push_back(std::make_unique<EdgeNode>(net_, id, cfg));
   for (DcId d = 0; d < config_.num_dcs; ++d) {
     net_.connect(id, dc_node_id(d), config_.edge_uplink);
@@ -102,6 +108,37 @@ void Cluster::set_peer_links(NodeId node, const std::vector<NodeId>& peers,
                              bool up) {
   for (const NodeId peer : peers) {
     if (peer != node) net_.set_link_up(node, peer, up);
+  }
+}
+
+void Cluster::crash_node(NodeId node) {
+  if (disks_.find(node) == disks_.end()) return;  // diskless: plain outage
+  for (auto& dc : dcs_) {
+    if (dc->id() == node) {
+      if (!dc->crashed()) dc->crash();
+      return;
+    }
+  }
+  for (auto& edge : edges_) {
+    if (edge->id() == node) {
+      if (!edge->crashed()) edge->crash();
+      return;
+    }
+  }
+}
+
+void Cluster::restart_node(NodeId node) {
+  for (auto& dc : dcs_) {
+    if (dc->id() == node) {
+      if (dc->crashed()) dc->recover();
+      return;
+    }
+  }
+  for (auto& edge : edges_) {
+    if (edge->id() == node) {
+      if (edge->crashed()) edge->recover();
+      return;
+    }
   }
 }
 

@@ -6,6 +6,7 @@
 // owned here; experiments drive the scheduler and inspect the nodes.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "group/peer_group.hpp"
 #include "sim/network.hpp"
 #include "sim/scheduler.hpp"
+#include "storage/wal.hpp"
 
 namespace colony {
 
@@ -87,6 +89,20 @@ class Cluster {
   /// Cut / restore the links between a node and a set of peers.
   void set_peer_links(NodeId node, const std::vector<NodeId>& peers, bool up);
 
+  /// Crash a DC or edge node: wipe its volatile state and drop everything in
+  /// flight. No-op for node ids without a WAL (shards, group parents) — the
+  /// fault degrades to whatever link faults accompany it.
+  void crash_node(NodeId node);
+  /// Restart a previously crashed node from its WAL. No-op if the node is
+  /// unknown or not crashed.
+  void restart_node(NodeId node);
+
+  /// The WAL backing a node, or nullptr (tests inspect / corrupt it).
+  [[nodiscard]] storage::Wal* disk(NodeId node) {
+    auto it = disks_.find(node);
+    return it == disks_.end() ? nullptr : it->second.get();
+  }
+
   // --- quiescence (chaos harness audit points) -------------------------------
 
   /// Restore every link and node after arbitrary fault injection.
@@ -110,6 +126,9 @@ class Cluster {
   std::vector<std::unique_ptr<DcNode>> dcs_;
   std::vector<std::unique_ptr<EdgeNode>> edges_;
   std::vector<std::unique_ptr<PeerGroupParent>> parents_;
+  /// One durable log per DC / edge node, keyed by node id. Owned here so a
+  /// "process" (the node object) can lose everything while its disk survives.
+  std::map<NodeId, std::unique_ptr<storage::Wal>> disks_;
   NodeId next_node_id_ = 10'000;
 };
 

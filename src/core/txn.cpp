@@ -169,4 +169,22 @@ std::vector<Dot> TxnStore::all_dots() const {
   return out;
 }
 
+void TxnStore::encode(Encoder& enc) const {
+  std::vector<Dot> dots = all_dots();
+  std::sort(dots.begin(), dots.end());
+  enc.u32(static_cast<std::uint32_t>(dots.size()));
+  for (const Dot& dot : dots) txns_.at(dot).encode(enc);
+}
+
+void TxnStore::decode(Decoder& dec) {
+  txns_.clear();
+  const std::uint32_t n = dec.u32();
+  if (n > dec.remaining()) dec.fail();
+  for (std::uint32_t i = 0; i < n && dec.ok(); ++i) {
+    Transaction txn = Transaction::decode(dec);
+    const Dot dot = txn.meta.dot;
+    txns_.emplace(dot, std::move(txn));
+  }
+}
+
 }  // namespace colony

@@ -161,6 +161,12 @@ class TxnStore {
   /// All known dots (test/inspection helper).
   [[nodiscard]] std::vector<Dot> all_dots() const;
 
+  /// Checkpoint serialization. Deterministic: transactions encode sorted
+  /// by dot (the backing map is unordered). decode() replaces contents.
+  void encode(Encoder& enc) const;
+  void decode(Decoder& dec);
+  void clear() { txns_.clear(); }
+
  private:
   std::unordered_map<Dot, Transaction> txns_;
 };

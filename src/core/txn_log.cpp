@@ -22,4 +22,18 @@ std::vector<Dot> VisibilityLog::since(std::size_t from) const {
           entries_.end()};
 }
 
+void VisibilityLog::encode(Encoder& enc) const {
+  enc.u32(static_cast<std::uint32_t>(entries_.size()));
+  for (const Dot& dot : entries_) dot.encode(enc);
+}
+
+void VisibilityLog::decode(Decoder& dec) {
+  clear();
+  const std::uint32_t n = dec.u32();
+  if (n > dec.remaining()) dec.fail();
+  for (std::uint32_t i = 0; i < n && dec.ok(); ++i) {
+    append(Dot::decode(dec));
+  }
+}
+
 }  // namespace colony

@@ -32,6 +32,15 @@ class VisibilityLog {
   /// Entries from index `from` (inclusive) onwards.
   [[nodiscard]] std::vector<Dot> since(std::size_t from) const;
 
+  /// Checkpoint serialization: entry order is the log's payload, so the
+  /// vector encodes as-is; the position index is rebuilt on decode.
+  void encode(Encoder& enc) const;
+  void decode(Decoder& dec);
+  void clear() {
+    entries_.clear();
+    index_.clear();
+  }
+
  private:
   std::vector<Dot> entries_;
   std::unordered_map<Dot, std::uint64_t> index_;

@@ -623,6 +623,10 @@ void VisibilityEngine::pump() {
 void VisibilityEngine::set_drain_mode(DrainMode mode) {
   if (mode == mode_) return;
   mode_ = mode;
+  rebuild_scheduler();
+}
+
+void VisibilityEngine::rebuild_scheduler() {
   // Drop every scheduler structure and rebuild from the pending set.
   wake_on_txn_.clear();
   wake_on_apply_.clear();
@@ -632,7 +636,7 @@ void VisibilityEngine::set_drain_mode(DrainMode mode) {
   guard_gen_.clear();
   ready_.clear();
   pending_.clear();
-  if (mode == DrainMode::kFixpointReference) {
+  if (mode_ == DrainMode::kFixpointReference) {
     pending_.assign(pending_set_.begin(), pending_set_.end());
     drain_fixpoint();
   } else {
@@ -759,6 +763,96 @@ bool VisibilityEngine::shadow_matches(std::string* why) const {
     return report(os.str());
   }
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Durability: checkpoint export/import.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<Dot> sorted_dots(const std::unordered_set<Dot>& set) {
+  std::vector<Dot> out(set.begin(), set.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+void VisibilityEngine::encode_state(Encoder& enc) const {
+  state_.encode(enc);
+  seeded_cut_.encode(enc);
+  applied_slots_.encode(enc);
+  log_.encode(enc);
+  const auto write_dots = [&enc](const std::vector<Dot>& dots) {
+    enc.u32(static_cast<std::uint32_t>(dots.size()));
+    for (const Dot& dot : dots) dot.encode(enc);
+  };
+  write_dots(sorted_dots(applied_));
+  write_dots(sorted_dots(masked_));
+  write_dots(sorted_dots(pending_set_));
+}
+
+void VisibilityEngine::decode_state(Decoder& dec) {
+  reset();
+  state_ = VersionVector::decode(dec);
+  seeded_cut_ = VersionVector::decode(dec);
+  applied_slots_.decode(dec);
+  log_.decode(dec);
+  const auto read_dots = [&dec](std::unordered_set<Dot>& out) {
+    const std::uint32_t n = dec.u32();
+    if (n > dec.remaining()) dec.fail();
+    for (std::uint32_t i = 0; i < n && dec.ok(); ++i) {
+      out.insert(Dot::decode(dec));
+    }
+  };
+  read_dots(applied_);
+  read_dots(masked_);
+  read_dots(pending_set_);
+  rebuild_masked_index();
+  // A checkpoint is only taken at a quiescent point within the node, so
+  // every pending transaction is genuinely blocked: the rebuild registers
+  // guards (indexed) or primes the scan list (reference) without applying.
+  rebuild_scheduler();
+  if (shadow_) shadow_->adopt_state(*this);
+}
+
+void VisibilityEngine::adopt_state(const VisibilityEngine& src) {
+  reset();
+  state_ = src.state_;
+  seeded_cut_ = src.seeded_cut_;
+  applied_slots_ = src.applied_slots_;
+  log_ = src.log_;
+  applied_ = src.applied_;
+  masked_ = src.masked_;
+  pending_set_ = src.pending_set_;
+  rebuild_masked_index();
+  rebuild_scheduler();
+}
+
+void VisibilityEngine::reset() {
+  const std::size_t num_dcs = state_.size();
+  state_ = VersionVector(num_dcs);
+  seeded_cut_ = VersionVector();
+  applied_slots_.clear();
+  log_.clear();
+  applied_.clear();
+  masked_.clear();
+  pending_set_.clear();
+  pending_.clear();
+  guard_seq_ = 0;
+  guard_gen_.clear();
+  wake_on_txn_.clear();
+  wake_on_apply_.clear();
+  wake_on_state_.clear();
+  covered_pending_.clear();
+  coverage_queue_.clear();
+  ready_.clear();
+  draining_ = false;
+  masked_by_origin_.clear();
+  masked_by_key_.clear();
+  shadow_divergence_.clear();
+  if (shadow_) shadow_->reset();
 }
 
 }  // namespace colony

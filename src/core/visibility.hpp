@@ -197,9 +197,36 @@ class VisibilityEngine {
     return shadow_.get();
   }
 
+  // --- durability (checkpoint export/import) -------------------------------
+
+  /// Serialize the engine's durable state: state vector, seeded cut,
+  /// applied commit slots, visibility log, applied/masked/pending sets.
+  /// Deterministic — unordered sets encode sorted — so byte equality of
+  /// two encodings proves state equality. Scheduler wake structures are
+  /// derived state and are NOT serialized; decode_state rebuilds them.
+  void encode_state(Encoder& enc) const;
+
+  /// Restore from encode_state bytes. Configuration (security check,
+  /// hooks, key filter, drain mode, sequential components) is not part of
+  /// the payload and must be wired by the owner beforehand, exactly as at
+  /// construction. The attached reference shadow (if any) is restored to
+  /// the identical state so equivalence checking survives a crash-restart.
+  void decode_state(Decoder& dec);
+
+  /// Drop every piece of engine state (crash): applied/masked/pending
+  /// sets, log, state vector, wake index, shadow. Configuration wiring
+  /// survives.
+  void reset();
+
  private:
   VisibilityEngine(TxnStore& txns, JournalStore& store, std::size_t num_dcs,
                    bool is_shadow);
+
+  /// Re-register every pending transaction with the active scheduler (the
+  /// set_drain_mode rebuild, shared with decode_state).
+  void rebuild_scheduler();
+  /// Copy another engine's durable state wholesale (shadow restore).
+  void adopt_state(const VisibilityEngine& src);
 
   // Shared apply tail (both schedulers, and apply_local).
   void apply_ops(const Transaction& txn, bool masked);

@@ -26,6 +26,7 @@
 #include "sim/rpc.hpp"
 #include "storage/hash_ring.hpp"
 #include "storage/journal_store.hpp"
+#include "storage/wal.hpp"
 #include "util/metrics.hpp"
 
 namespace colony {
@@ -51,6 +52,15 @@ struct DcConfig {
   /// A cloud-mode transaction execution (kDcExecute) costs more than a
   /// plain session RPC: it fans out shard reads and runs 2PC internally.
   SimTime execute_service_time = 225 * kMicrosecond;
+  /// Durable write-ahead log, owned by the topology builder (the node only
+  /// writes through the pointer). nullptr = no durability: such a node must
+  /// never be crash-restarted (Cluster::crash_node degrades the fault to a
+  /// plain outage instead).
+  storage::Wal* disk = nullptr;
+  /// Cadence of full-state checkpoints into the WAL (taken between
+  /// handlers, where node state is consistent; skipped while no records
+  /// accrued since the last one).
+  SimTime checkpoint_interval = 400 * kMillisecond;
 };
 
 class DcNode final : public sim::RpcActor {
@@ -74,6 +84,28 @@ class DcNode final : public sim::RpcActor {
 
   /// The DC's current view of the policy object (nullptr = open policy).
   [[nodiscard]] const security::AclObject* acl() const;
+
+  // --- durability (crash / restart) ---------------------------------------
+
+  /// Kill the process: every piece of in-memory state is wiped and every
+  /// outstanding RPC continuation forgotten. The node stays dead (traffic
+  /// is dropped by the network, timers from the old incarnation die) until
+  /// recover(). Requires a configured WAL — a node without one has nothing
+  /// to come back from.
+  void crash();
+
+  /// Rebuild the node from its WAL: newest intact checkpoint, then tail
+  /// replay through the same handler paths that produced the records. With
+  /// `reconnect` (the live-restart path) the gossip and checkpoint timers
+  /// restart and every session is rewound to its acknowledged prefix on
+  /// the next push round; verify_recovery's offline replica passes false.
+  void recover(bool reconnect = true);
+
+  /// Prove recoverability in place: build an offline replica from a copy
+  /// of the WAL and compare durable projections byte-for-byte.
+  [[nodiscard]] bool verify_recovery(std::string* why = nullptr) const;
+
+  [[nodiscard]] bool crashed() const { return crashed_; }
 
  protected:
   void on_message(NodeId from, std::uint32_t kind,
@@ -140,6 +172,43 @@ class DcNode final : public sim::RpcActor {
   /// it visible. `txn.meta` must have a resolved concrete snapshot.
   Timestamp commit_here(Transaction txn);
 
+  // --- durability internals ------------------------------------------------
+
+  /// WAL record vocabulary. Every mutation of durable DC state is covered
+  /// by exactly one record kind; session *progress* (cursor/seq/acks) is
+  /// deliberately recordless — a restart rewinds each session to its
+  /// acknowledged prefix through the same resync path a broken connection
+  /// uses, and re-pushed entries are dot-filtered at the subscriber.
+  enum DcWalRecord : std::uint32_t {
+    kWalDcCommit = 1,       // Transaction sequenced here (commit assigned)
+    kWalDcIngest = 2,       // Transaction learned from geo-replication
+    kWalDcGossip = 3,       // proto::DcGossip merged into dc_states_
+    kWalDcSession = 4,      // durable session snapshot after a mutation
+    kWalDcAdvanceBase = 5,  // journal bases baked at the current K-cut
+    kWalDcDot = 6,          // local_dot_counter_ after a bump
+  };
+
+  /// Should a mutation be logged right now? False without a disk, during
+  /// WAL replay (records must not re-log themselves), and while crashed.
+  [[nodiscard]] bool wal_enabled() const {
+    return config_.disk != nullptr && !recovering_ && !crashed_;
+  }
+  void log_record(std::uint32_t type, const Encoder& payload);
+  void log_session(NodeId node, const EdgeSession& session);
+  void replay_record(std::uint32_t type, ByteView payload);
+  void encode_checkpoint(Encoder& enc) const;
+  void decode_checkpoint(ByteView snapshot);
+  /// The recovery-invariant projection: every field the WAL contract
+  /// promises to restore exactly. Excludes volatile fields (CPU queue,
+  /// parked executions, gossip cadence) and session progress counters.
+  void encode_durable(Encoder& enc) const;
+  /// Bake K-stable journal prefixes into base versions (gossip cadence
+  /// live; replayed at the logged point during recovery).
+  void advance_bases();
+  void schedule_gossip();
+  void schedule_checkpoint();
+  void checkpoint_tick();
+
   DcConfig config_;
   std::vector<NodeId> peers_;
   std::vector<NodeId> shard_nodes_;
@@ -167,6 +236,14 @@ class DcNode final : public sim::RpcActor {
     ReplyFn reply;
   };
   std::vector<WaitingExec> waiting_execs_;
+
+  // Durability state. `incarnation_` stamps every timer chain and deferred
+  // dispatch this node schedules; crash() (and recover()) bump it so
+  // callbacks from a dead incarnation self-cancel instead of mutating the
+  // reborn node.
+  bool crashed_ = false;
+  bool recovering_ = false;  // replaying WAL: suppress logging & side effects
+  std::uint64_t incarnation_ = 0;
 };
 
 }  // namespace colony

@@ -29,7 +29,8 @@ EdgeNode::EdgeNode(sim::Network& net, NodeId id, EdgeConfig config)
     : RpcActor(net, id),
       config_(config),
       engine_(txns_, store_, config.num_dcs),
-      interest_(config.cache_capacity) {
+      interest_(config.cache_capacity),
+      initial_dc_(config.dc) {
   security::register_acl_crdt();
   security::register_sealed_crdt();
   engine_.set_security_check([this](const Transaction& txn) {
@@ -51,6 +52,7 @@ EdgeNode::EdgeNode(sim::Network& net, NodeId id, EdgeConfig config)
     }
     notify_watchers(txn);
   });
+  if (config_.disk != nullptr) schedule_checkpoint();
 }
 
 void EdgeNode::notify_watchers(const Transaction& txn) {
@@ -107,7 +109,25 @@ void EdgeNode::migrate_transaction(std::vector<ObjectKey> reads,
 Arb EdgeNode::make_arb() {
   // local_now (not now) so injected clock skew flows into arbitration
   // timestamps — the HLC absorbs it, which is exactly what chaos verifies.
-  return Arb{hlc_.tick(net_.local_now(id())), fresh_dot()};
+  const Timestamp ts = hlc_.tick(net_.local_now(id()));
+  if (wal_enabled()) {
+    // The tick value depends on the wall clock, which replay cannot
+    // reproduce; log the resulting HLC state instead.
+    Encoder rec;
+    rec.u64(hlc_.last());
+    log_record(kEdgeHlc, rec);
+  }
+  return Arb{ts, fresh_dot()};
+}
+
+Dot EdgeNode::fresh_dot() {
+  const Dot dot{id(), ++dot_counter_};
+  if (wal_enabled()) {
+    Encoder rec;
+    rec.u64(dot_counter_);
+    log_record(kEdgeDot, rec);
+  }
+  return dot;
 }
 
 std::unique_ptr<Crdt> EdgeNode::read_at(const ObjectKey& key,
@@ -127,11 +147,13 @@ void EdgeNode::admit(const ObjectKey& key) {
   const auto victim = interest_.add(key);
   if (!victim.has_value()) return;
   store_.erase(*victim);
+  if (recovering_) return;  // eviction notice is live traffic only
   const NodeId target = group_ ? group_->parent : config_.dc;
   tell(target, proto::kUnsubscribe, proto::UnsubscribeMsg{{*victim}});
 }
 
 void EdgeNode::invalidate_cache() {
+  log_record(kEdgeInvalidate, Encoder{});
   const auto keys = store_.keys();
   for (const ObjectKey& key : keys) {
     store_.erase(key);
@@ -182,6 +204,17 @@ void EdgeNode::read(Txn& txn, const ObjectKey& key, CrdtType type,
              const auto resp =
                  codec::from_bytes<proto::PeerFetchResp>(r.value());
              if (resp.found) {
+               if (wal_enabled()) {
+                 // Same record shape as a DC fetch (empty cut): the peer
+                 // import is an ordinary durable-state mutation.
+                 Encoder rec;
+                 rec.u8(1);
+                 codec::write(rec, key);
+                 codec::write(rec, type);
+                 codec::write(rec, resp.snapshot);
+                 VersionVector{}.encode(rec);
+                 log_record(kEdgeFetch, rec);
+               }
                import_fetched(resp.snapshot, VersionVector{});
                admit(key);
                finish_read(txn, key, type, std::move(cb), ReadSource::kPeer);
@@ -202,6 +235,15 @@ void EdgeNode::fetch_from_dc(const Txn& txn, const ObjectKey& key,
        [this, &txn, key, type, cb = std::move(cb)](Result<Bytes> r) {
          if (r.ok()) {
            const auto resp = codec::from_bytes<proto::FetchResp>(r.value());
+           if (wal_enabled()) {
+             Encoder rec;
+             rec.u8(1);  // found
+             codec::write(rec, key);
+             codec::write(rec, type);
+             codec::write(rec, resp.snapshot);
+             resp.cut.encode(rec);
+             log_record(kEdgeFetch, rec);
+           }
            import_fetched(resp.snapshot, resp.cut);
            admit(key);
            finish_read(txn, key, type, std::move(cb), ReadSource::kDc);
@@ -211,6 +253,13 @@ void EdgeNode::fetch_from_dc(const Txn& txn, const ObjectKey& key,
              r.error().message.starts_with("object unknown")) {
            // Nobody has created the object yet: start from the initial
            // (empty) state locally.
+           if (wal_enabled()) {
+             Encoder rec;
+             rec.u8(0);  // not found: created empty
+             codec::write(rec, key);
+             codec::write(rec, type);
+             log_record(kEdgeFetch, rec);
+           }
            store_.ensure(key, type);
            admit(key);
            finish_read(txn, key, type, std::move(cb), ReadSource::kDc);
@@ -263,6 +312,9 @@ Transaction EdgeNode::make_transaction(Txn&& txn) {
 }
 
 Result<Dot> EdgeNode::commit(Txn&& txn) {
+  if (crashed_) {
+    return Error{Error::Code::kUnavailable, "node is crashed"};
+  }
   if (config_.mode == ClientMode::kCloudOnly) {
     return Error{Error::Code::kInvalidArgument,
                  "cloud-only clients use cloud_execute"};
@@ -276,6 +328,12 @@ Result<Dot> EdgeNode::commit(Txn&& txn) {
   Transaction record = make_transaction(std::move(txn));
   const Dot dot = record.meta.dot;
   const auto keys = command_keys(record);
+
+  if (wal_enabled()) {
+    Encoder rec;
+    record.encode(rec);
+    log_record(kEdgeCommit, rec);
+  }
 
   // Admit the written keys into the cache before applying, so the key
   // filter materialises them.
@@ -348,6 +406,8 @@ void EdgeNode::commit_ordered(Txn&& txn, CommitCb cb) {
   for (const OpRecord& op : record.ops) admit(op.key);
   // Stored but not applied until consensus orders it (variant 1); going
   // through the engine lets pending dependants see the record arrive.
+  // Unlogged (group state is volatile): flag the node for verification.
+  group_tainted_ = true;
   engine_.admit(record);
   consensus::Command cmd{dot, keys, gc.to_bytes()};
   group_->pending_cmds.emplace(dot, cmd);
@@ -377,7 +437,7 @@ void EdgeNode::cloud_execute(std::vector<ObjectKey> reads,
 // ---------------------------------------------------------------------------
 
 void EdgeNode::pump_commits() {
-  if (group_ || pump_in_flight_ || unacked_.empty()) return;
+  if (crashed_ || group_ || pump_in_flight_ || unacked_.empty()) return;
   pump_in_flight_ = true;
   const Dot dot = unacked_.front();
   const Transaction* txn = txns_.find(dot);
@@ -392,14 +452,25 @@ void EdgeNode::pump_commits() {
            return;
          }
          // Offline or incompatible: retry later; duplicates are filtered
-         // by dot at the DC (section 3.8).
+         // by dot at the DC (section 3.8). The retry chain dies with its
+         // incarnation (the restarted pump starts its own).
          net_.scheduler().after(config_.retry_interval,
-                                [this] { pump_commits(); });
+                                [this, inc = incarnation_] {
+                                  if (inc == incarnation_) pump_commits();
+                                });
        });
 }
 
 void EdgeNode::on_commit_ack(const Dot& dot,
                              const proto::EdgeCommitResp& resp) {
+  if (wal_enabled()) {
+    Encoder rec;
+    dot.encode(rec);
+    rec.u32(resp.dc);
+    rec.u64(resp.ts);
+    resp.resolved_snapshot.encode(rec);
+    log_record(kEdgeAck, rec);
+  }
   engine_.resolve_full(dot, resp.dc, resp.ts, resp.resolved_snapshot);
   const auto it = std::find(unacked_.begin(), unacked_.end(), dot);
   if (it != unacked_.end()) unacked_.erase(it);
@@ -430,6 +501,13 @@ void EdgeNode::subscribe(std::vector<ObjectKey> keys, DoneCb done) {
            return;
          }
          const auto resp = codec::from_bytes<proto::SubscribeResp>(r.value());
+         if (wal_enabled()) {
+           Encoder rec;
+           codec::write(rec, keys);
+           codec::write(rec, resp.snapshots);
+           resp.cut.encode(rec);
+           log_record(kEdgeSubscribe, rec);
+         }
          for (const ObjectSnapshot& snap : resp.snapshots) {
            store_.import_snapshot(snap);
            engine_.reapply_missing(snap.key, snap);
@@ -452,6 +530,13 @@ void EdgeNode::open_session(std::vector<std::string> buckets, DoneCb done) {
          }
          const auto resp =
              codec::from_bytes<proto::OpenSessionResp>(r.value());
+         if (wal_enabled() && !resp.keys.empty()) {
+           // Keys stay valid across disconnection (section 5.3), so they
+           // must also survive a crash.
+           Encoder rec;
+           codec::write(rec, resp.keys);
+           log_record(kEdgeSessionKey, rec);
+         }
          for (const auto& [bucket, key] : resp.keys) {
            session_keys_[bucket] = key;
          }
@@ -467,6 +552,11 @@ std::optional<security::SessionKey> EdgeNode::session_key(
 }
 
 void EdgeNode::migrate_to_dc(NodeId new_dc, DoneCb done) {
+  if (wal_enabled()) {
+    Encoder rec;
+    rec.u64(new_dc);
+    log_record(kEdgeMigrate, rec);
+  }
   config_.dc = new_dc;
   call(new_dc, proto::kMigrate,
        proto::MigrateReq{engine_.state_vector(), interest_.keys(),
@@ -618,6 +708,11 @@ void EdgeNode::on_group_deliver(const consensus::Command& cmd) {
   }
   for (const ObjectKey& key : cmd.keys) ++group_->seen_per_key[key];
 
+  // Group deliveries mutate local state without WAL records (group state
+  // is volatile by design; §9 of DESIGN.md): mark the node so in-place
+  // recovery verification is skipped until the next crash resets it.
+  group_tainted_ = true;
+
   if (gc.txn.meta.origin == id()) {
     group_->undelivered.erase(dot);
     group_->pending_cmds.erase(dot);
@@ -665,7 +760,7 @@ void EdgeNode::drain_group_queue() {
 
 void EdgeNode::on_message(NodeId from, std::uint32_t kind,
                           ByteView body) {
-  (void)from;
+  if (crashed_) return;  // dead process: frames fall on the floor
   switch (kind) {
     case proto::kPushTxn: {
       const auto msg = codec::from_bytes<proto::PushTxn>(body);
@@ -674,6 +769,17 @@ void EdgeNode::on_message(NodeId from, std::uint32_t kind,
         tell(from, proto::kPushAck, proto::PushAck{push.ack});
       }
       if (!push.deliver) break;  // after-gap: await the sender's rewind
+      if (wal_enabled()) {
+        // Delivered pushes (duplicates included — they re-drive the same
+        // receive-state transition) are the channel's durable history:
+        // replaying them restores both the engine AND push_recv_, so the
+        // restarted node acks from the exact prefix it had confirmed.
+        Encoder rec;
+        rec.u64(from);
+        rec.u64(msg.session_seq);
+        msg.txn.encode(rec);
+        log_record(kEdgePush, rec);
+      }
       engine_.ingest(msg.txn);
       drain_group_queue();
       break;
@@ -687,6 +793,11 @@ void EdgeNode::on_message(NodeId from, std::uint32_t kind,
         // channel and re-announces the cut.
         break;
       }
+      if (wal_enabled()) {
+        Encoder rec;
+        msg.cut.encode(rec);
+        log_record(kEdgeSeed, rec);
+      }
       engine_.seed_state(msg.cut);
       engine_.drain();
       drain_group_queue();
@@ -694,6 +805,14 @@ void EdgeNode::on_message(NodeId from, std::uint32_t kind,
     }
     case proto::kResolutionRelay: {
       const auto msg = codec::from_bytes<proto::ResolutionMsg>(body);
+      if (wal_enabled()) {
+        Encoder rec;
+        msg.dot.encode(rec);
+        rec.u32(msg.dc);
+        rec.u64(msg.ts);
+        msg.resolved_snapshot.encode(rec);
+        log_record(kEdgeAck, rec);
+      }
       engine_.resolve_full(msg.dot, msg.dc, msg.ts, msg.resolved_snapshot);
       const auto it = std::find(unacked_.begin(), unacked_.end(), msg.dot);
       if (it != unacked_.end()) unacked_.erase(it);
@@ -739,6 +858,7 @@ void EdgeNode::on_message(NodeId from, std::uint32_t kind,
 
 void EdgeNode::on_request(NodeId /*from*/, std::uint32_t method,
                           ByteView payload, ReplyFn reply) {
+  if (crashed_) return;  // dead process: the caller's RPC times out
   switch (method) {
     case proto::kPeerFetch: {
       // Collaborative cache: serve a neighbour from the local cache.
@@ -757,6 +877,324 @@ void EdgeNode::on_request(NodeId /*from*/, std::uint32_t method,
     default:
       reply(Error{Error::Code::kInvalidArgument, "unknown edge method"});
   }
+}
+
+// ---------------------------------------------------------------------------
+// Durability: WAL logging, checkpoints, crash, recovery.
+// ---------------------------------------------------------------------------
+
+void EdgeNode::log_record(std::uint32_t type, const Encoder& payload) {
+  if (!wal_enabled()) return;
+  config_.disk->append(type, payload.data());
+}
+
+void EdgeNode::replay_record(std::uint32_t type, ByteView payload) {
+  Decoder dec(payload);
+  switch (type) {
+    case kEdgeCommit: {
+      const Transaction record = Transaction::decode(dec);
+      COLONY_ASSERT(dec.ok() && dec.done(), "torn kEdgeCommit payload");
+      const Dot dot = record.meta.dot;
+      for (const OpRecord& op : record.ops) admit(op.key);
+      engine_.ingest(record);
+      engine_.apply_local(dot);
+      last_local_unresolved_ = dot;
+      unacked_.push_back(dot);
+      ++commits_;
+      break;
+    }
+    case kEdgeAck: {
+      const Dot dot = Dot::decode(dec);
+      const DcId dc = dec.u32();
+      const Timestamp ts = dec.u64();
+      const VersionVector snapshot = VersionVector::decode(dec);
+      COLONY_ASSERT(dec.ok() && dec.done(), "torn kEdgeAck payload");
+      // The durable core of on_commit_ack / kResolutionRelay; waiters and
+      // deferred migrations are volatile and not re-fired.
+      engine_.resolve_full(dot, dc, ts, snapshot);
+      const auto it = std::find(unacked_.begin(), unacked_.end(), dot);
+      if (it != unacked_.end()) unacked_.erase(it);
+      if (last_local_unresolved_ == dot) last_local_unresolved_.reset();
+      break;
+    }
+    case kEdgePush: {
+      const NodeId from = dec.u64();
+      const std::uint64_t seq = dec.u64();
+      const Transaction txn = Transaction::decode(dec);
+      COLONY_ASSERT(dec.ok() && dec.done(), "torn kEdgePush payload");
+      // Re-drive the receive state machine (only delivered pushes were
+      // logged, so the transitions replay verbatim); no ack is sent.
+      push_recv_[from].on_push(seq);
+      engine_.ingest(txn);
+      break;
+    }
+    case kEdgeSeed: {
+      const VersionVector cut = VersionVector::decode(dec);
+      COLONY_ASSERT(dec.ok() && dec.done(), "torn kEdgeSeed payload");
+      engine_.seed_state(cut);
+      engine_.drain();
+      break;
+    }
+    case kEdgeSubscribe: {
+      const auto keys = codec::read<std::vector<ObjectKey>>(dec);
+      const auto snapshots = codec::read<std::vector<ObjectSnapshot>>(dec);
+      const VersionVector cut = VersionVector::decode(dec);
+      COLONY_ASSERT(dec.ok() && dec.done(), "torn kEdgeSubscribe payload");
+      for (const ObjectSnapshot& snap : snapshots) {
+        store_.import_snapshot(snap);
+        engine_.reapply_missing(snap.key, snap);
+      }
+      for (const ObjectKey& key : keys) admit(key);
+      engine_.seed_state(cut);
+      engine_.drain();
+      break;
+    }
+    case kEdgeFetch: {
+      const bool found = dec.u8() != 0;
+      const auto key = codec::read<ObjectKey>(dec);
+      const auto type_tag = codec::read<CrdtType>(dec);
+      if (found) {
+        const auto snap = codec::read<ObjectSnapshot>(dec);
+        const VersionVector cut = VersionVector::decode(dec);
+        COLONY_ASSERT(dec.ok() && dec.done(), "torn kEdgeFetch payload");
+        store_.import_snapshot(snap);
+        engine_.reapply_missing(snap.key, snap);
+        engine_.seed_state(cut);
+        engine_.drain();
+      } else {
+        COLONY_ASSERT(dec.ok() && dec.done(), "torn kEdgeFetch payload");
+        store_.ensure(key, type_tag);
+      }
+      admit(key);
+      // finish_read's ensure() ran after the import on the live path; it
+      // is a no-op there but must run for the found case too, in case the
+      // snapshot import skipped an empty object.
+      store_.ensure(key, type_tag);
+      break;
+    }
+    case kEdgeDot: {
+      dot_counter_ = dec.u64();
+      COLONY_ASSERT(dec.ok() && dec.done(), "torn kEdgeDot payload");
+      break;
+    }
+    case kEdgeHlc: {
+      hlc_.restore(dec.u64());
+      COLONY_ASSERT(dec.ok() && dec.done(), "torn kEdgeHlc payload");
+      break;
+    }
+    case kEdgeMigrate: {
+      config_.dc = dec.u64();
+      COLONY_ASSERT(dec.ok() && dec.done(), "torn kEdgeMigrate payload");
+      break;
+    }
+    case kEdgeInvalidate: {
+      COLONY_ASSERT(dec.done(), "kEdgeInvalidate carries no payload");
+      invalidate_cache();
+      break;
+    }
+    case kEdgeSessionKey: {
+      const auto keys = codec::read<
+          std::vector<std::pair<std::string, security::SessionKey>>>(dec);
+      COLONY_ASSERT(dec.ok() && dec.done(), "torn kEdgeSessionKey payload");
+      for (const auto& [bucket, key] : keys) session_keys_[bucket] = key;
+      break;
+    }
+    default:
+      COLONY_ASSERT(false, "unknown edge WAL record type");
+  }
+}
+
+void EdgeNode::encode_checkpoint(Encoder& enc) const {
+  enc.u32(1);  // checkpoint layout version
+  enc.u64(config_.dc);
+  enc.u64(dot_counter_);
+  enc.u64(commits_);
+  enc.u64(hlc_.last());
+  {
+    auto keys = interest_.keys();
+    std::sort(keys.begin(), keys.end());
+    codec::write(enc, keys);
+  }
+  enc.u32(static_cast<std::uint32_t>(push_recv_.size()));
+  for (const auto& [node, recv] : push_recv_) {
+    enc.u64(node);
+    enc.u64(recv.last_seq);
+  }
+  enc.u32(static_cast<std::uint32_t>(unacked_.size()));
+  for (const Dot& dot : unacked_) dot.encode(enc);
+  codec::write(enc, last_local_unresolved_);
+  enc.u32(static_cast<std::uint32_t>(session_keys_.size()));
+  for (const auto& [bucket, key] : session_keys_) {
+    enc.str(bucket);
+    enc.u64(key);
+  }
+  txns_.encode(enc);
+  store_.encode(enc);
+  engine_.encode_state(enc);
+}
+
+void EdgeNode::decode_checkpoint(ByteView snapshot) {
+  Decoder dec(snapshot);
+  const std::uint32_t version = dec.u32();
+  COLONY_ASSERT(version == 1, "unknown edge checkpoint layout");
+  config_.dc = dec.u64();
+  dot_counter_ = dec.u64();
+  commits_ = dec.u64();
+  hlc_.restore(dec.u64());
+  interest_ = InterestSet(config_.cache_capacity);
+  for (const auto& key : codec::read<std::vector<ObjectKey>>(dec)) {
+    interest_.add(key);
+  }
+  push_recv_.clear();
+  const std::uint32_t recv_count = dec.u32();
+  for (std::uint32_t i = 0; i < recv_count && dec.ok(); ++i) {
+    const NodeId node = dec.u64();
+    push_recv_[node].last_seq = dec.u64();
+  }
+  unacked_.clear();
+  const std::uint32_t unacked_count = dec.u32();
+  for (std::uint32_t i = 0; i < unacked_count && dec.ok(); ++i) {
+    unacked_.push_back(Dot::decode(dec));
+  }
+  last_local_unresolved_ = codec::read<std::optional<Dot>>(dec);
+  session_keys_.clear();
+  const std::uint32_t key_count = dec.u32();
+  for (std::uint32_t i = 0; i < key_count && dec.ok(); ++i) {
+    const std::string bucket = dec.str();
+    session_keys_[bucket] = dec.u64();
+  }
+  txns_.decode(dec);
+  store_.decode(dec);
+  engine_.decode_state(dec);
+  COLONY_ASSERT(dec.ok() && dec.done(), "edge checkpoint decode mismatch");
+}
+
+void EdgeNode::encode_durable(Encoder& enc) const {
+  enc.u64(config_.dc);
+  enc.u64(dot_counter_);
+  enc.u64(commits_);
+  enc.u64(hlc_.last());
+  {
+    auto keys = interest_.keys();
+    std::sort(keys.begin(), keys.end());
+    codec::write(enc, keys);
+  }
+  enc.u32(static_cast<std::uint32_t>(push_recv_.size()));
+  for (const auto& [node, recv] : push_recv_) {
+    enc.u64(node);
+    enc.u64(recv.last_seq);
+  }
+  enc.u32(static_cast<std::uint32_t>(unacked_.size()));
+  for (const Dot& dot : unacked_) dot.encode(enc);
+  codec::write(enc, last_local_unresolved_);
+  enc.u32(static_cast<std::uint32_t>(session_keys_.size()));
+  for (const auto& [bucket, key] : session_keys_) {
+    enc.str(bucket);
+    enc.u64(key);
+  }
+  txns_.encode(enc);
+  store_.encode(enc);
+  engine_.encode_state(enc);
+}
+
+void EdgeNode::schedule_checkpoint() {
+  net_.scheduler().after(config_.checkpoint_interval,
+                         [this, inc = incarnation_] {
+                           if (inc == incarnation_) checkpoint_tick();
+                         });
+}
+
+void EdgeNode::checkpoint_tick() {
+  if (config_.disk != nullptr && !crashed_ &&
+      config_.disk->records_since_checkpoint() > 0) {
+    Encoder snapshot;
+    encode_checkpoint(snapshot);
+    config_.disk->write_checkpoint(snapshot.data());
+  }
+  schedule_checkpoint();
+}
+
+void EdgeNode::crash() {
+  COLONY_ASSERT(config_.disk != nullptr,
+                "crash() on a node without durable storage");
+  crashed_ = true;
+  ++incarnation_;
+  abort_pending_calls();
+  config_.dc = initial_dc_;  // migrations replay from zero
+  interest_ = InterestSet(config_.cache_capacity);
+  push_recv_.clear();
+  dot_counter_ = 0;
+  txn_counter_ = 0;
+  commits_ = 0;
+  unacked_.clear();
+  pump_in_flight_ = false;
+  last_local_unresolved_.reset();
+  group_.reset();
+  group_tainted_ = false;
+  watchers_.clear();
+  next_watcher_ = 1;
+  pending_migrated_.clear();
+  ack_waiters_.clear();
+  session_keys_.clear();
+  hlc_.restore(0);
+  txns_.clear();
+  store_.clear();
+  engine_.reset();
+}
+
+void EdgeNode::recover(bool reconnect) {
+  COLONY_ASSERT(config_.disk != nullptr,
+                "recover() on a node without durable storage");
+  const storage::WalRecovery rec = config_.disk->recover();
+  crashed_ = false;
+  recovering_ = true;
+  if (rec.checkpoint.has_value()) decode_checkpoint(*rec.checkpoint);
+  for (const storage::WalRecord& record : rec.tail) {
+    replay_record(record.type, record.payload);
+  }
+  recovering_ = false;
+  if (rec.torn) config_.disk->truncate_to(rec.valid_bytes);
+  if (reconnect) {
+    ++incarnation_;
+    // Re-send whatever the DC never acknowledged; its dot filter drops
+    // anything that did arrive before the crash. The session channel
+    // resyncs from the DC side once it sees the node back up.
+    pump_commits();
+    schedule_checkpoint();
+  }
+}
+
+bool EdgeNode::verify_recovery(std::string* why) const {
+  // No disk: nothing to verify. Crashed: state is intentionally empty.
+  // Group-tainted: consensus mutated state outside the WAL (volatile by
+  // design). Bounded cache: LRU order (hence eviction victims) depends on
+  // unlogged reads, so exact restoration is not part of the contract.
+  if (config_.disk == nullptr || crashed_ || in_group() || group_tainted_ ||
+      config_.cache_capacity != 0) {
+    return true;
+  }
+  sim::Scheduler scheduler;
+  sim::Network net(scheduler, /*seed=*/1);
+  storage::Wal disk(*config_.disk);
+  EdgeConfig cfg = config_;
+  cfg.dc = initial_dc_;  // replay rebuilds any migration
+  cfg.disk = &disk;
+  EdgeNode replica(net, id(), cfg);
+  replica.recover(/*reconnect=*/false);
+  Encoder mine;
+  Encoder theirs;
+  encode_durable(mine);
+  replica.encode_durable(theirs);
+  if (mine.data() == theirs.data()) return true;
+  if (why != nullptr) {
+    *why = "edge " + std::to_string(id()) +
+           " durable projection diverges after recovery: live " +
+           std::to_string(mine.size()) + "B vs replica " +
+           std::to_string(theirs.size()) + "B (commits " +
+           std::to_string(commits_) + " vs " +
+           std::to_string(replica.commits_) + ")";
+  }
+  return false;
 }
 
 }  // namespace colony

@@ -35,6 +35,7 @@
 #include "sim/rpc.hpp"
 #include "storage/cache.hpp"
 #include "storage/journal_store.hpp"
+#include "storage/wal.hpp"
 
 namespace colony {
 
@@ -65,6 +66,11 @@ struct EdgeConfig {
   /// await DC acknowledgement ("runs out of storage", §3).
   std::size_t max_unacked = 256;
   SimTime retry_interval = 500 * kMillisecond;
+  /// Durable write-ahead log, owned by the topology builder. nullptr = no
+  /// durability; such a node must never be crash-restarted.
+  storage::Wal* disk = nullptr;
+  /// Cadence of full-state checkpoints into the WAL.
+  SimTime checkpoint_interval = 400 * kMillisecond;
 };
 
 class EdgeNode final : public sim::RpcActor {
@@ -170,7 +176,9 @@ class EdgeNode final : public sim::RpcActor {
   /// Fresh arbitration token (timestamp from this node's hybrid clock plus
   /// a fresh dot); unique per call.
   Arb make_arb();
-  Dot fresh_dot() { return Dot{id(), ++dot_counter_}; }
+  /// Mint a fresh dot. WAL-logged: reusing a counter value after a restart
+  /// would alias two distinct transactions under one identity.
+  Dot fresh_dot();
 
   /// Current visible value (nullptr if not cached) for prepare-with-context
   /// (e.g. OR-set remove needs observed tags).
@@ -200,6 +208,29 @@ class EdgeNode final : public sim::RpcActor {
   [[nodiscard]] const TxnStore& txns() const { return txns_; }
   [[nodiscard]] NodeId connected_dc() const { return config_.dc; }
   [[nodiscard]] std::uint64_t commits_issued() const { return commits_; }
+
+  // --- durability (crash / restart) ---------------------------------------
+
+  /// Kill the device: all in-memory state (cache, unacked queue, group
+  /// membership, watchers) is wiped and in-flight continuations forgotten.
+  /// Requires a configured WAL. Peer-group membership does NOT survive a
+  /// crash — the reborn node must join_group again; its group-delivered
+  /// foreign transactions are re-obtained via subscription snapshots.
+  void crash();
+
+  /// Rebuild the node from its WAL: newest intact checkpoint plus tail
+  /// replay. With `reconnect` (live restart) the commit pump restarts so
+  /// restored unacknowledged transactions are re-sent (the DC's dot filter
+  /// drops duplicates); verify_recovery's offline replica passes false.
+  void recover(bool reconnect = true);
+
+  /// Prove recoverability in place: build an offline replica from a copy
+  /// of the WAL and compare durable projections byte-for-byte. Trivially
+  /// true for group members (group state is volatile by design) and for
+  /// capacity-bounded caches (LRU order is not durable).
+  [[nodiscard]] bool verify_recovery(std::string* why = nullptr) const;
+
+  [[nodiscard]] bool crashed() const { return crashed_; }
 
  protected:
   void on_message(NodeId from, std::uint32_t kind,
@@ -231,6 +262,39 @@ class EdgeNode final : public sim::RpcActor {
     /// conflict signature so a node does not conflict with itself).
     std::map<ObjectKey, std::uint64_t> own_pending_per_key;
   };
+
+  // --- durability internals ------------------------------------------------
+
+  /// WAL record vocabulary: every durable-state mutation an edge device
+  /// performs maps to one record kind. Group-mode foreign deliveries are
+  /// deliberately NOT logged (group state dies with the process).
+  enum EdgeWalRecord : std::uint32_t {
+    kEdgeCommit = 1,      // locally committed Transaction
+    kEdgeAck = 2,         // DC resolution of a local commit
+    kEdgePush = 3,        // session push delivered by the channel
+    kEdgeSeed = 4,        // kStateUpdate cut seeded
+    kEdgeSubscribe = 5,   // subscription reply imported
+    kEdgeFetch = 6,       // fetched object imported (or created empty)
+    kEdgeDot = 7,         // dot_counter_ after a fresh_dot()
+    kEdgeHlc = 8,         // HLC value after a make_arb() tick
+    kEdgeMigrate = 9,     // re-attached to a different DC
+    kEdgeInvalidate = 10,  // cache dropped wholesale
+    kEdgeSessionKey = 11,  // session key obtained for a bucket
+  };
+
+  [[nodiscard]] bool wal_enabled() const {
+    return config_.disk != nullptr && !recovering_ && !crashed_;
+  }
+  void log_record(std::uint32_t type, const Encoder& payload);
+  void replay_record(std::uint32_t type, ByteView payload);
+  void encode_checkpoint(Encoder& enc) const;
+  void decode_checkpoint(ByteView snapshot);
+  /// The recovery-invariant projection (exact-restoration contract).
+  /// Excludes txn_counter_ (local labels), watchers (dead callbacks),
+  /// group state (volatile), and cache LRU order.
+  void encode_durable(Encoder& enc) const;
+  void schedule_checkpoint();
+  void checkpoint_tick();
 
   // Commit pump towards the DC (kClientCache mode).
   void pump_commits();
@@ -299,6 +363,18 @@ class EdgeNode final : public sim::RpcActor {
 
   /// Session keys by bucket (section 6.2).
   std::map<std::string, security::SessionKey> session_keys_;
+
+  /// DC this node was built against; a crash-restart replays migrations
+  /// from zero, so config_.dc must rewind to it first.
+  NodeId initial_dc_ = 0;
+  bool crashed_ = false;
+  bool recovering_ = false;
+  std::uint64_t incarnation_ = 0;
+  /// Set once group consensus mutated local state (foreign deliveries,
+  /// ordered commits): those paths are deliberately unlogged, so in-place
+  /// recovery verification is meaningless until a crash resets the node to
+  /// WAL-derived state.
+  bool group_tainted_ = false;
 };
 
 }  // namespace colony

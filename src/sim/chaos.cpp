@@ -36,6 +36,10 @@ const char* to_string(ChaosEventType t) {
       return "corrupt-on";
     case ChaosEventType::kCorruptOff:
       return "corrupt-off";
+    case ChaosEventType::kCrashRestart:
+      return "crash-restart";
+    case ChaosEventType::kRestart:
+      return "restart";
   }
   return "?";
 }
@@ -60,6 +64,7 @@ enum Class : std::size_t {
   kClassCorrupt,
   kClassSkew,
   kClassMigrate,
+  kClassCrashRestart,
   kNumClasses,
 };
 
@@ -83,6 +88,7 @@ ChaosSchedule ChaosSchedule::generate(const ChaosConfig& config,
   weights[kClassSkew] = topo.edges.empty() ? 0 : config.w_skew;
   weights[kClassMigrate] =
       (topo.dcs.size() >= 2 && !topo.edges.empty()) ? config.w_migrate : 0;
+  weights[kClassCrashRestart] = config.w_crash_restart;
   const Weighted pick_class(weights);
 
   const double mean_gap_us =
@@ -187,6 +193,17 @@ ChaosSchedule ChaosSchedule::generate(const ChaosConfig& config,
           schedule.events.push_back({t, ChaosEventType::kMigrateEdge,
                                      pick_node(topo.edges), 0,
                                      rng.below(topo.dcs.size())});
+          break;
+        }
+        case kClassCrashRestart: {
+          const bool dc = topo.edges.empty() || rng.chance(0.5);
+          const NodeId node = dc ? pick_node(topo.dcs) : pick_node(topo.edges);
+          schedule.events.push_back(
+              {t, ChaosEventType::kCrashRestart, node, 0, 0});
+          if (const auto up = outage(t, end)) {
+            schedule.events.push_back(
+                {*up, ChaosEventType::kRestart, node, 0, 0});
+          }
           break;
         }
         default:
@@ -326,6 +343,23 @@ void ChaosRunner::apply(const ChaosEvent& event) {
     case ChaosEventType::kMigrateEdge:
       if (migrate_hook) migrate_hook(event.a, event.arg);
       break;
+    case ChaosEventType::kCrashRestart:
+      net_.set_node_up(event.a, false);
+      if (crash_hook) {
+        crash_hook(event.a);
+        if (std::find(crashed_.begin(), crashed_.end(), event.a) ==
+            crashed_.end()) {
+          crashed_.push_back(event.a);
+        }
+      }
+      break;
+    case ChaosEventType::kRestart:
+      if (restart_hook) {
+        restart_hook(event.a);
+        std::erase(crashed_, event.a);
+      }
+      net_.set_node_up(event.a, true);
+      break;
     case ChaosEventType::kHealAll:
       reset();
       break;
@@ -333,6 +367,13 @@ void ChaosRunner::apply(const ChaosEvent& event) {
 }
 
 void ChaosRunner::reset() {
+  // Restart crashed nodes BEFORE healing the fabric: recovery must work
+  // from durable state alone, not from traffic that slips in first.
+  for (const NodeId node : crashed_) {
+    if (restart_hook) restart_hook(node);
+    net_.set_node_up(node, true);
+  }
+  crashed_.clear();
   net_.heal();
   net_.set_duplicate_rate(0);
   net_.set_reorder_rate(0);

@@ -38,6 +38,8 @@ enum class ChaosEventType : std::uint8_t {
   kHealAll = 10,     // epoch barrier: heal, quiesce, audit invariants
   kCorruptOn = 11,   // payload-corruption window opens; arg = rate in ppm
   kCorruptOff = 12,
+  kCrashRestart = 13,  // node a killed: volatile state wiped, traffic dropped
+  kRestart = 14,       // node a restarted from its durable state (WAL)
 };
 
 [[nodiscard]] const char* to_string(ChaosEventType t);
@@ -81,6 +83,11 @@ struct ChaosConfig {
   double w_corrupt = 2.0;    // payload-corruption window (checksum drops)
   double w_skew = 1.0;       // clock skew on an edge
   double w_migrate = 1.0;    // edge migrates to another DC
+  /// Crash-restart: the node's in-memory state is destroyed and later
+  /// rebuilt from its write-ahead log + checkpoint (crash_hook /
+  /// restart_hook). Non-zero by default so every chaos sweep exercises the
+  /// recovery path; without hooks it degrades to a plain outage.
+  double w_crash_restart = 1.5;
 
   /// Outage durations (partition, crash, injection windows).
   SimTime min_outage = 200 * kMillisecond;
@@ -142,16 +149,27 @@ class ChaosRunner {
   void apply(const ChaosEvent& event);
 
   /// Clear every standing injection: heal links/nodes, zero the duplicate
-  /// and reorder rates, remove clock skews. Called at each barrier.
+  /// and reorder rates, remove clock skews, and restart any node still
+  /// crashed (restart BEFORE healing, so the node rejoins from durable
+  /// state exactly as it would mid-run). Called at each barrier.
   void reset();
 
   /// Invoked for kMigrateEdge events: (edge node id, target DC index).
   std::function<void(NodeId, std::size_t)> migrate_hook;
 
+  /// Durability hooks, wired by the harness to Cluster::crash_node /
+  /// Cluster::restart_node. kCrashRestart drops the node's traffic AND
+  /// invokes crash_hook (wipe volatile state); kRestart invokes
+  /// restart_hook (recover from WAL) then restores traffic. With no hooks
+  /// the pair behaves exactly like kNodeCrash/kNodeRecover.
+  std::function<void(NodeId)> crash_hook;
+  std::function<void(NodeId)> restart_hook;
+
  private:
   Network& net_;
   std::vector<ChaosEvent> events_;
-  std::vector<NodeId> skewed_;  // nodes with a standing clock skew
+  std::vector<NodeId> skewed_;   // nodes with a standing clock skew
+  std::vector<NodeId> crashed_;  // nodes awaiting a restart
 };
 
 }  // namespace colony::sim

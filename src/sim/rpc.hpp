@@ -73,6 +73,12 @@ class RpcActor : public Actor {
   virtual void on_request(NodeId from, std::uint32_t method, ByteView payload,
                           ReplyFn reply) = 0;
 
+  /// Crash support: forget every outstanding call WITHOUT firing its
+  /// callback (a crashed process loses its continuations). The timeout
+  /// closures already scheduled look their rpc id up in the pending map
+  /// and become no-ops. Late responses to dropped ids are ignored too.
+  void abort_pending_calls() { pending_.clear(); }
+
  private:
   void handle(NodeId from, std::uint32_t kind, ByteView body) final;
 

@@ -20,6 +20,7 @@
 
 #include "clock/dot.hpp"
 #include "crdt/crdt.hpp"
+#include "util/binary_codec.hpp"
 #include "util/types.hpp"
 
 namespace colony {
@@ -101,6 +102,17 @@ class JournalStore {
   [[nodiscard]] std::vector<ObjectKey> keys() const;
   [[nodiscard]] std::size_t journal_length(const ObjectKey& key) const;
   void erase(const ObjectKey& key);
+
+  /// Checkpoint serialization: the full versioned representation of every
+  /// object — base snapshot, baked dots in bake order, journal entries,
+  /// and the mask-filtered `current` materialisation (which cannot be
+  /// recomputed without the historical mask predicates). Deterministic:
+  /// objects encode in key order, so identical stores produce identical
+  /// bytes. decode() replaces the store's contents; the O(1) baked-dot
+  /// set is rebuilt from the baked-dot list.
+  void encode(Encoder& enc) const;
+  void decode(Decoder& dec);
+  void clear() { objects_.clear(); }
 
  private:
   struct ObjectState {

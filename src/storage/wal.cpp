@@ -1,0 +1,129 @@
+#include "storage/wal.hpp"
+
+#include <cstring>
+#include <set>
+
+namespace colony::storage {
+
+namespace {
+
+/// Append one `[type | len | payload | crc]` frame to `stream`.
+void put_frame(Bytes& stream, std::uint32_t type, ByteView payload) {
+  Encoder enc;
+  enc.reserve(Wal::kHeaderBytes + payload.size() + Wal::kTrailerBytes);
+  enc.u32(type);
+  enc.u32(static_cast<std::uint32_t>(payload.size()));
+  enc.raw(payload);
+  const std::uint32_t crc = crc32(enc.data().data(), enc.size());
+  enc.u32(crc);
+  const Bytes frame = enc.take();
+  stream.insert(stream.end(), frame.begin(), frame.end());
+}
+
+std::uint32_t read_u32(const Bytes& b, std::size_t off) {
+  std::uint32_t v;
+  std::memcpy(&v, b.data() + off, sizeof(v));
+  return v;
+}
+
+struct ScannedFrame {
+  std::uint64_t offset = 0;  // where the frame starts in the stream
+  std::uint32_t type = 0;
+  ByteView payload;
+};
+
+/// Walk `stream` from offset 0 collecting intact frames; stops at the
+/// first frame that is truncated, oversized, or fails its CRC. Returns
+/// the length of the intact prefix.
+std::uint64_t scan(const Bytes& stream, std::vector<ScannedFrame>& out) {
+  std::size_t off = 0;
+  while (stream.size() - off >= Wal::kHeaderBytes + Wal::kTrailerBytes) {
+    const std::uint32_t type = read_u32(stream, off);
+    const std::uint64_t len = read_u32(stream, off + 4);
+    const std::uint64_t body = Wal::kHeaderBytes + len;
+    if (body + Wal::kTrailerBytes > stream.size() - off) break;  // torn tail
+    const std::uint32_t want = read_u32(stream, off + body);
+    const std::uint32_t got = crc32(stream.data() + off, body);
+    if (want != got) break;  // corrupt frame: scan ends here
+    out.push_back(ScannedFrame{
+        off, type,
+        ByteView(stream.data() + off + Wal::kHeaderBytes, len)});
+    off += body + Wal::kTrailerBytes;
+  }
+  return off;
+}
+
+}  // namespace
+
+void Wal::append(std::uint32_t type, ByteView payload) {
+  put_frame(log_, type, payload);
+  ++records_since_checkpoint_;
+  ++record_count_;
+}
+
+void Wal::write_checkpoint(ByteView snapshot) {
+  Encoder body;
+  body.reserve(sizeof(std::uint64_t) + snapshot.size());
+  body.u64(static_cast<std::uint64_t>(log_.size()));
+  body.raw(snapshot);
+  put_frame(cp_, kCheckpointMagic, body.data());
+  records_since_checkpoint_ = 0;
+  ++checkpoint_count_;
+}
+
+WalRecovery Wal::recover() const {
+  WalRecovery out;
+
+  std::vector<ScannedFrame> records;
+  out.valid_bytes = scan(log_, records);
+  out.torn = out.valid_bytes != log_.size();
+
+  // Valid anchor offsets: the start of every intact record, plus the end
+  // of the intact prefix (a checkpoint taken after the last record).
+  std::set<std::uint64_t> boundaries;
+  boundaries.insert(0);
+  for (const ScannedFrame& r : records) boundaries.insert(r.offset);
+  boundaries.insert(out.valid_bytes);
+
+  std::vector<ScannedFrame> checkpoints;
+  const std::uint64_t cp_valid = scan(cp_, checkpoints);
+  if (cp_valid != cp_.size()) out.torn = true;
+
+  // Newest checkpoint that is anchored inside the intact record prefix.
+  for (auto it = checkpoints.rbegin(); it != checkpoints.rend(); ++it) {
+    if (it->type != kCheckpointMagic) continue;  // foreign frame: skip
+    if (it->payload.size() < sizeof(std::uint64_t)) continue;
+    std::uint64_t anchor;
+    std::memcpy(&anchor, it->payload.data(), sizeof(anchor));
+    if (anchor > out.valid_bytes || !boundaries.contains(anchor)) continue;
+    out.checkpoint = Bytes(it->payload.begin() + sizeof(std::uint64_t),
+                           it->payload.end());
+    out.checkpoint_offset = anchor;
+    break;
+  }
+
+  for (const ScannedFrame& r : records) {
+    if (r.offset < out.checkpoint_offset) continue;  // folded into snapshot
+    out.tail.push_back(
+        WalRecord{r.type, Bytes(r.payload.begin(), r.payload.end())});
+  }
+  return out;
+}
+
+void Wal::truncate_to(std::uint64_t valid_bytes) {
+  if (valid_bytes < log_.size()) log_.resize(valid_bytes);
+  // Drop any torn checkpoint tail as well: rescan and keep the prefix.
+  std::vector<ScannedFrame> checkpoints;
+  const std::uint64_t cp_valid = scan(cp_, checkpoints);
+  if (cp_valid < cp_.size()) cp_.resize(cp_valid);
+}
+
+void Wal::clear() {
+  log_.clear();
+  cp_.clear();
+  records_since_checkpoint_ = 0;
+  record_count_ = 0;
+  checkpoint_count_ = 0;
+}
+
+}  // namespace colony::storage

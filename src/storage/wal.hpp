@@ -1,0 +1,116 @@
+// Write-ahead log + checkpoint stream: the durability layer under a node.
+//
+// A Wal models one node's local durable disk inside the simulation: two
+// append-only byte streams (the record log and the checkpoint stream),
+// both framed exactly like the wire transport —
+//
+//   record frame:      [u32 type | u32 len | payload[len] | u32 crc32]
+//   checkpoint frame:  [u32 kCheckpointMagic | u32 len |
+//                       (u64 wal_offset ++ snapshot) | u32 crc32]
+//
+// where the CRC covers everything before it in the frame. The record
+// `type` vocabulary belongs to the caller (DcNode and EdgeNode define
+// their own replay enums); the Wal itself only guarantees framing,
+// integrity, and the recovery contract:
+//
+//   * recover() scans the record log from offset 0 and accepts the
+//     longest prefix of intact frames — the first torn or corrupt frame
+//     ends the scan, and nothing after it is ever surfaced (a partially
+//     written record cannot be resurrected);
+//   * the newest checkpoint that is (a) CRC-intact, (b) anchored at a
+//     valid record-frame boundary, and (c) not ahead of the valid record
+//     prefix is chosen as the restore base; damaged or over-eager
+//     checkpoints fall back to older ones, and with no usable checkpoint
+//     recovery replays the whole log from genesis;
+//   * the records strictly after the chosen checkpoint's anchor offset
+//     are returned as the replay tail, in append order.
+//
+// Streams are never truncated by normal operation; truncate_to() exists
+// so a restarted node can drop a torn tail before appending again.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/binary_codec.hpp"
+
+namespace colony::storage {
+
+struct WalRecord {
+  std::uint32_t type = 0;
+  Bytes payload;
+
+  bool operator==(const WalRecord&) const = default;
+};
+
+/// Everything recover() learned from the two streams.
+struct WalRecovery {
+  /// Snapshot bytes of the newest usable checkpoint (nullopt: replay from
+  /// genesis).
+  std::optional<Bytes> checkpoint;
+  /// Record-log offset the checkpoint covers: every record at an earlier
+  /// offset is already folded into the snapshot.
+  std::uint64_t checkpoint_offset = 0;
+  /// Records after checkpoint_offset, in append order.
+  std::vector<WalRecord> tail;
+  /// Length of the intact record-log prefix; bytes past it are garbage.
+  std::uint64_t valid_bytes = 0;
+  /// True when either stream carried a torn/corrupt tail that was dropped.
+  bool torn = false;
+};
+
+class Wal {
+ public:
+  /// Frame `type` marker of checkpoint-stream frames.
+  static constexpr std::uint32_t kCheckpointMagic = 0x43503031;  // "CP01"
+  /// Fixed framing overhead: type + len header, crc trailer.
+  static constexpr std::size_t kHeaderBytes = 8;
+  static constexpr std::size_t kTrailerBytes = 4;
+
+  /// Append one record frame to the log.
+  void append(std::uint32_t type, ByteView payload);
+
+  /// Append a checkpoint frame anchored at the current end of the record
+  /// log: the snapshot must describe the state reached by replaying every
+  /// record appended so far.
+  void write_checkpoint(ByteView snapshot);
+
+  /// Scan both streams and compute the restore plan. Never fails: corrupt
+  /// input only shrinks what is recovered. Read-only — recover() on an
+  /// untouched Wal is idempotent.
+  [[nodiscard]] WalRecovery recover() const;
+
+  /// Drop everything past the intact prefix (post-recovery cleanup so new
+  /// appends extend a well-formed log).
+  void truncate_to(std::uint64_t valid_bytes);
+
+  /// Records appended since the last checkpoint (checkpoint cadence).
+  [[nodiscard]] std::uint64_t records_since_checkpoint() const {
+    return records_since_checkpoint_;
+  }
+  [[nodiscard]] std::uint64_t record_count() const { return record_count_; }
+  [[nodiscard]] std::uint64_t checkpoint_count() const {
+    return checkpoint_count_;
+  }
+  [[nodiscard]] std::size_t log_bytes() const { return log_.size(); }
+  [[nodiscard]] std::size_t checkpoint_bytes() const { return cp_.size(); }
+
+  /// Raw stream access for the torn-tail fuzz tests (bit flips, truncation)
+  /// and for cloning a disk into an isolated recovery probe.
+  [[nodiscard]] const Bytes& raw_log() const { return log_; }
+  [[nodiscard]] const Bytes& raw_checkpoints() const { return cp_; }
+  Bytes& mutable_log() { return log_; }
+  Bytes& mutable_checkpoints() { return cp_; }
+
+  void clear();
+
+ private:
+  Bytes log_;
+  Bytes cp_;
+  std::uint64_t records_since_checkpoint_ = 0;
+  std::uint64_t record_count_ = 0;
+  std::uint64_t checkpoint_count_ = 0;
+};
+
+}  // namespace colony::storage

@@ -96,6 +96,10 @@ class Harness {
   /// Replay an explicit event list (used by the shrinker). Call once.
   RunResult run(const std::vector<sim::ChaosEvent>& events) {
     sim::ChaosRunner runner(cluster_->network(), events);
+    runner.crash_hook = [this](NodeId node) { cluster_->crash_node(node); };
+    runner.restart_hook = [this](NodeId node) {
+      cluster_->restart_node(node);
+    };
     runner.migrate_hook = [this](NodeId node, std::size_t dc_index) {
       for (std::size_t i = 0; i < cluster_->num_edges(); ++i) {
         if (cluster_->edge(i).id() == node) {
