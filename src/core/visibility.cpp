@@ -116,6 +116,7 @@ void VisibilityEngine::apply_local(const Dot& dot) {
     }
     fire_apply_event(dot);
     pump();
+    store_.flush_applies();  // pump() may early-return in reference mode
   }
   if (shadow_) shadow_->apply_local(dot);
 }
@@ -239,6 +240,7 @@ bool VisibilityEngine::apply_causal_engine(const Dot& dot) {
   }
   fire_apply_event(dot);
   pump();
+  store_.flush_applies();  // pump() may early-return in reference mode
   return true;
 }
 
@@ -370,6 +372,7 @@ void VisibilityEngine::drain_fixpoint() {
       }
     }
   }
+  store_.flush_applies();  // event-boundary join, as in pump()
 }
 
 // ---------------------------------------------------------------------------
@@ -618,6 +621,12 @@ void VisibilityEngine::pump() {
     try_apply_indexed(dot);
   }
   draining_ = false;
+  // Join any applies handed to the worker pool before the enclosing sim
+  // event completes: parallelism must stay invisible above the event
+  // boundary (DESIGN.md section 10). No-op without a pool or with nothing
+  // pending; nested pump() calls returned above, so this runs once per
+  // outermost drain.
+  store_.flush_applies();
 }
 
 void VisibilityEngine::set_drain_mode(DrainMode mode) {
@@ -726,6 +735,7 @@ void VisibilityEngine::reapply_missing(const ObjectKey& key,
       }
     }
   }
+  store_.flush_applies();
 }
 
 JournalStore::DotPredicate VisibilityEngine::visible_predicate() const {

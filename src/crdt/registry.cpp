@@ -29,6 +29,11 @@ const char* to_string(CrdtType t) {
 }
 
 namespace {
+// The only shared mutable state in the CRDT layer. Writes (registration)
+// happen exclusively during node construction on the control thread while
+// every apply pool is quiescent; apply-pool workers may read it through
+// make_crdt (nested map fields), so registering while a pool has pending
+// tasks would be a data race — don't.
 std::map<CrdtType, std::unique_ptr<Crdt> (*)()>& extension_factories() {
   static std::map<CrdtType, std::unique_ptr<Crdt> (*)()> factories;
   return factories;

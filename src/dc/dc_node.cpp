@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "security/sealed.hpp"
+#include "storage/apply_pool.hpp"
 #include "util/assert.hpp"
 
 namespace colony {
@@ -24,6 +25,9 @@ DcNode::DcNode(sim::Network& net, NodeId id, DcConfig config,
                 "K must be in [1, num_dcs]");
   COLONY_ASSERT(!shard_nodes_.empty(), "a DC needs at least one shard");
   for (std::uint32_t s = 0; s < shard_nodes_.size(); ++s) ring_.add_shard(s);
+  if (config_.apply_pool != nullptr) {
+    store_.set_apply_pool(config_.apply_pool);
+  }
 
   // A DC applies the full commit stream of every peer, so its state-vector
   // components advance contiguously (see VisibilityEngine).
@@ -907,6 +911,9 @@ void DcNode::checkpoint_tick() {
     Encoder snapshot;
     encode_checkpoint(snapshot);
     config_.disk->write_checkpoint(snapshot.data());
+    // The checkpoint makes every earlier record redundant: reclaim the log
+    // prefix (and superseded checkpoints) behind it.
+    config_.disk->truncate_to_checkpoint();
   }
   schedule_checkpoint();
 }
@@ -962,6 +969,12 @@ void DcNode::recover(bool reconnect) {
   }
 }
 
+Bytes DcNode::durable_bytes() const {
+  Encoder enc;
+  encode_durable(enc);
+  return enc.take();
+}
+
 bool DcNode::verify_recovery(std::string* why) const {
   if (config_.disk == nullptr || crashed_) return true;
   // Offline replica: a private scheduler and network so the probe cannot
@@ -972,6 +985,9 @@ bool DcNode::verify_recovery(std::string* why) const {
   storage::Wal disk(*config_.disk);
   DcConfig cfg = config_;
   cfg.disk = &disk;
+  // The replica applies inline: matching durable bytes double as a live
+  // pooled-vs-inline equivalence check on every probe.
+  cfg.apply_pool = nullptr;
   DcNode replica(net, id(), cfg, peers_, shard_nodes_);
   replica.recover(/*reconnect=*/false);
   Encoder mine;

@@ -31,6 +31,8 @@
 
 namespace colony {
 
+class ApplyPool;
+
 struct DcConfig {
   DcId dc_id = 0;
   std::size_t num_dcs = 1;
@@ -61,6 +63,12 @@ struct DcConfig {
   /// handlers, where node state is consistent; skipped while no records
   /// accrued since the last one).
   SimTime checkpoint_interval = 400 * kMillisecond;
+  /// Worker pool for parallel CRDT apply (DESIGN.md section 10), owned by
+  /// the topology builder like `disk` and possibly shared with this DC's
+  /// shard servers (handlers are serialised by the sim scheduler, so the
+  /// pool's single-producer contract holds). nullptr = apply inline on the
+  /// event thread; either way the observable state is byte-identical.
+  ApplyPool* apply_pool = nullptr;
 };
 
 class DcNode final : public sim::RpcActor {
@@ -104,6 +112,10 @@ class DcNode final : public sim::RpcActor {
   /// Prove recoverability in place: build an offline replica from a copy
   /// of the WAL and compare durable projections byte-for-byte.
   [[nodiscard]] bool verify_recovery(std::string* why = nullptr) const;
+
+  /// The durable projection as bytes (the recovery invariant surface). The
+  /// pool-size equivalence sweep byte-compares this across worker counts.
+  [[nodiscard]] Bytes durable_bytes() const;
 
   [[nodiscard]] bool crashed() const { return crashed_; }
 

@@ -1110,6 +1110,9 @@ void EdgeNode::checkpoint_tick() {
     Encoder snapshot;
     encode_checkpoint(snapshot);
     config_.disk->write_checkpoint(snapshot.data());
+    // Reclaim the log prefix (and superseded checkpoints) the fresh
+    // checkpoint made redundant.
+    config_.disk->truncate_to_checkpoint();
   }
   schedule_checkpoint();
 }

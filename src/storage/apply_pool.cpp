@@ -1,0 +1,127 @@
+#include "storage/apply_pool.hpp"
+
+#include <chrono>
+
+#include "util/assert.hpp"
+
+namespace colony {
+
+/// Per-worker SPSC ring + parking state. head is written only by the
+/// producer, tail only by the consumer; the release store on each side is
+/// paired with an acquire load on the other, which carries both the slot
+/// contents (producer -> worker) and the apply effects (worker -> producer
+/// at barrier time).
+struct ApplyPool::Worker {
+  static constexpr std::uint64_t kRingSize = 4096;  // power of two
+
+  std::vector<ApplyTask> ring{kRingSize};
+  std::atomic<std::uint64_t> head{0};  // next free slot (producer)
+  std::atomic<std::uint64_t> tail{0};  // next task to run (consumer)
+  std::atomic<bool> asleep{false};
+  std::atomic<bool> stop{false};
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::thread thread;
+};
+
+ApplyPool::ApplyPool(std::size_t workers) {
+  COLONY_ASSERT(workers >= 1, "pool needs at least one worker");
+  workers_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    ring_.add_shard(static_cast<std::uint32_t>(w));
+    workers_.push_back(std::make_unique<Worker>());
+    Worker& worker = *workers_.back();
+    worker.thread = std::thread([&worker] { run(worker); });
+  }
+}
+
+ApplyPool::~ApplyPool() {
+  for (auto& w : workers_) {
+    w->stop.store(true, std::memory_order_seq_cst);
+    std::lock_guard<std::mutex> lock(w->mutex);
+    w->cv.notify_one();
+  }
+  for (auto& w : workers_) w->thread.join();
+}
+
+void ApplyPool::submit(std::uint32_t worker, const ApplyTask& task) {
+  Worker& w = *workers_[worker];
+  const std::uint64_t h = w.head.load(std::memory_order_relaxed);
+  // Ring full: the worker is behind by a whole ring; yield until it drains
+  // a slot (the acquire load pairs with its release tail store, so the slot
+  // is genuinely reusable).
+  while (h - w.tail.load(std::memory_order_acquire) >= Worker::kRingSize) {
+    std::this_thread::yield();
+  }
+  w.ring[h % Worker::kRingSize] = task;
+  w.head.store(h + 1, std::memory_order_seq_cst);
+  ++submitted_;
+  // Dekker-style handshake with the consumer's park sequence: it stores
+  // `asleep` then re-reads `head`; we store `head` then read `asleep`.
+  // With both stores seq_cst at least one side observes the other, and the
+  // worker's 1ms wait cap bounds the damage if the OS still loses a race.
+  if (w.asleep.load(std::memory_order_seq_cst)) {
+    std::lock_guard<std::mutex> lock(w.mutex);
+    w.cv.notify_one();
+  }
+}
+
+void ApplyPool::barrier() {
+  for (auto& wp : workers_) {
+    Worker& w = *wp;
+    const std::uint64_t target = w.head.load(std::memory_order_relaxed);
+    int spins = 0;
+    while (w.tail.load(std::memory_order_acquire) < target) {
+      // Yield-first: on a single-core host the worker cannot run until the
+      // control thread gives up the CPU. Past a few hundred yields, nudge
+      // the condvar in case the worker parked before seeing the last head
+      // store, then back off properly.
+      if (++spins > 512) {
+        {
+          std::lock_guard<std::mutex> lock(w.mutex);
+          w.cv.notify_one();
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+}
+
+void ApplyPool::run(Worker& w) {
+  for (;;) {
+    const std::uint64_t t = w.tail.load(std::memory_order_relaxed);
+    if (t != w.head.load(std::memory_order_acquire)) {
+      const ApplyTask& task = w.ring[t % Worker::kRingSize];
+      if (task.journal != nullptr) {
+        task.journal->push_back(JournalEntry{task.dot, *task.payload});
+      }
+      if (task.value != nullptr) task.value->apply(*task.payload);
+      w.tail.store(t + 1, std::memory_order_release);
+      continue;
+    }
+    if (w.stop.load(std::memory_order_acquire)) return;
+    // Empty: spin briefly (yielding, so a shared core makes progress), then
+    // park. The re-check between the `asleep` store and the wait closes the
+    // sleep/submit race — see submit().
+    bool more = false;
+    for (int i = 0; i < 64; ++i) {
+      if (t != w.head.load(std::memory_order_acquire)) {
+        more = true;
+        break;
+      }
+      std::this_thread::yield();
+    }
+    if (more) continue;
+    std::unique_lock<std::mutex> lock(w.mutex);
+    w.asleep.store(true, std::memory_order_seq_cst);
+    if (t == w.head.load(std::memory_order_seq_cst) &&
+        !w.stop.load(std::memory_order_acquire)) {
+      w.cv.wait_for(lock, std::chrono::milliseconds(1));
+    }
+    w.asleep.store(false, std::memory_order_seq_cst);
+  }
+}
+
+}  // namespace colony

@@ -1,0 +1,94 @@
+// Sharded CRDT apply worker pool (DESIGN.md section 10).
+//
+// Op-based CRDT updates on distinct objects commute by construction, so the
+// apply tail of the visibility pipeline — journal append + fold into the
+// `current` materialisation — parallelises without locks once each object
+// has exactly one writer. The pool partitions object keys over N worker
+// threads with the same consistent-hash ring the DC uses for its shard
+// servers: every key maps to one worker, interfering (same-key) operations
+// serialise on that worker in submission order, and non-interfering
+// operations fan out across workers.
+//
+// Determinism contract: the single control thread (the sim event loop)
+// decides *what* to apply and in *which order* per key; workers only decide
+// *when* the fold physically executes within the current event. Because a
+// per-key stream lands on one worker in FIFO order, the final state is
+// byte-identical to the inline apply at any pool size — provided the
+// control thread joins the pool (barrier()) before anything reads the
+// affected objects and before the enclosing sim event completes.
+//
+// Handoff is one lock-free SPSC ring per worker: the control thread is the
+// only producer, the worker the only consumer. Workers spin briefly (with
+// yields, so single-core hosts make progress), then park on a condition
+// variable with a 1ms cap so a lost wakeup degrades to latency, never to a
+// hang.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "storage/hash_ring.hpp"
+#include "storage/journal_store.hpp"
+#include "util/types.hpp"
+
+namespace colony {
+
+/// One handed-off apply. Pointers reference structures owned by the
+/// submitting store/shard; the submitter guarantees they stay valid until
+/// the next barrier() (applies are always joined before the enclosing sim
+/// event ends, and object states live in node-stable containers).
+struct ApplyTask {
+  std::vector<JournalEntry>* journal = nullptr;  // append {dot, *payload}
+  Crdt* value = nullptr;                         // fold *payload (unmasked)
+  const Bytes* payload = nullptr;
+  Dot dot;
+};
+
+class ApplyPool {
+ public:
+  /// Spawns `workers` threads (>= 1) and a hash ring mapping object keys
+  /// onto them.
+  explicit ApplyPool(std::size_t workers);
+  ~ApplyPool();
+
+  ApplyPool(const ApplyPool&) = delete;
+  ApplyPool& operator=(const ApplyPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// The worker that owns `key`. All tasks touching one object must be
+  /// submitted to its owner — that is the whole single-writer invariant.
+  [[nodiscard]] std::uint32_t owner(const ObjectKey& key) const {
+    return ring_.owner(key);
+  }
+
+  /// Enqueue a task on `worker`'s ring. Single producer: only one thread
+  /// (the sim event loop) may submit or barrier at a time. Blocks (yielding)
+  /// if the ring is full.
+  void submit(std::uint32_t worker, const ApplyTask& task);
+
+  /// Wait until every submitted task has executed. The acquire/release
+  /// pairing on each ring's tail makes all worker-side effects visible to
+  /// the caller. Cheap when nothing is pending.
+  void barrier();
+
+  /// Total tasks ever submitted (tests assert the pool actually ran).
+  [[nodiscard]] std::uint64_t submitted() const { return submitted_; }
+
+ private:
+  struct Worker;
+
+  static void run(Worker& w);
+
+  HashRing ring_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::uint64_t submitted_ = 0;
+};
+
+}  // namespace colony

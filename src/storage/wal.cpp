@@ -64,7 +64,7 @@ void Wal::append(std::uint32_t type, ByteView payload) {
 void Wal::write_checkpoint(ByteView snapshot) {
   Encoder body;
   body.reserve(sizeof(std::uint64_t) + snapshot.size());
-  body.u64(static_cast<std::uint64_t>(log_.size()));
+  body.u64(log_base_ + log_.size());  // logical anchor
   body.raw(snapshot);
   put_frame(cp_, kCheckpointMagic, body.data());
   records_since_checkpoint_ = 0;
@@ -75,14 +75,19 @@ WalRecovery Wal::recover() const {
   WalRecovery out;
 
   std::vector<ScannedFrame> records;
-  out.valid_bytes = scan(log_, records);
-  out.torn = out.valid_bytes != log_.size();
+  const std::uint64_t phys_valid = scan(log_, records);
+  out.valid_bytes = log_base_ + phys_valid;
+  out.torn = phys_valid != log_.size();
 
-  // Valid anchor offsets: the start of every intact record, plus the end
-  // of the intact prefix (a checkpoint taken after the last record).
+  // Valid anchor offsets (logical): the start of every intact record, plus
+  // the end of the intact prefix (a checkpoint taken after the last
+  // record). Anchors below log_base_ point into a reclaimed prefix whose
+  // records no longer exist, so such checkpoints cannot seed a replay.
   std::set<std::uint64_t> boundaries;
-  boundaries.insert(0);
-  for (const ScannedFrame& r : records) boundaries.insert(r.offset);
+  boundaries.insert(log_base_);
+  for (const ScannedFrame& r : records) {
+    boundaries.insert(log_base_ + r.offset);
+  }
   boundaries.insert(out.valid_bytes);
 
   std::vector<ScannedFrame> checkpoints;
@@ -95,7 +100,10 @@ WalRecovery Wal::recover() const {
     if (it->payload.size() < sizeof(std::uint64_t)) continue;
     std::uint64_t anchor;
     std::memcpy(&anchor, it->payload.data(), sizeof(anchor));
-    if (anchor > out.valid_bytes || !boundaries.contains(anchor)) continue;
+    if (anchor < log_base_ || anchor > out.valid_bytes ||
+        !boundaries.contains(anchor)) {
+      continue;
+    }
     out.checkpoint = Bytes(it->payload.begin() + sizeof(std::uint64_t),
                            it->payload.end());
     out.checkpoint_offset = anchor;
@@ -103,7 +111,9 @@ WalRecovery Wal::recover() const {
   }
 
   for (const ScannedFrame& r : records) {
-    if (r.offset < out.checkpoint_offset) continue;  // folded into snapshot
+    if (log_base_ + r.offset < out.checkpoint_offset) {
+      continue;  // folded into snapshot
+    }
     out.tail.push_back(
         WalRecord{r.type, Bytes(r.payload.begin(), r.payload.end())});
   }
@@ -111,19 +121,84 @@ WalRecovery Wal::recover() const {
 }
 
 void Wal::truncate_to(std::uint64_t valid_bytes) {
-  if (valid_bytes < log_.size()) log_.resize(valid_bytes);
+  if (valid_bytes >= log_base_ && valid_bytes - log_base_ < log_.size()) {
+    log_.resize(valid_bytes - log_base_);
+  }
   // Drop any torn checkpoint tail as well: rescan and keep the prefix.
   std::vector<ScannedFrame> checkpoints;
   const std::uint64_t cp_valid = scan(cp_, checkpoints);
   if (cp_valid < cp_.size()) cp_.resize(cp_valid);
 }
 
+std::uint64_t Wal::truncate_to_checkpoint() {
+  // Choose the newest usable checkpoint with exactly recover()'s rules, so
+  // truncation never drops a byte recovery could still need.
+  std::vector<ScannedFrame> records;
+  const std::uint64_t phys_valid = scan(log_, records);
+  const std::uint64_t valid_bytes = log_base_ + phys_valid;
+  std::set<std::uint64_t> boundaries;
+  boundaries.insert(log_base_);
+  for (const ScannedFrame& r : records) {
+    boundaries.insert(log_base_ + r.offset);
+  }
+  boundaries.insert(valid_bytes);
+
+  std::vector<ScannedFrame> checkpoints;
+  scan(cp_, checkpoints);
+  const auto anchor_of =
+      [&](const ScannedFrame& f) -> std::optional<std::uint64_t> {
+    if (f.type != kCheckpointMagic) return std::nullopt;
+    if (f.payload.size() < sizeof(std::uint64_t)) return std::nullopt;
+    std::uint64_t anchor;
+    std::memcpy(&anchor, f.payload.data(), sizeof(anchor));
+    if (anchor < log_base_ || anchor > valid_bytes ||
+        !boundaries.contains(anchor)) {
+      return std::nullopt;
+    }
+    return anchor;
+  };
+  std::optional<std::uint64_t> chosen;
+  for (auto it = checkpoints.rbegin(); it != checkpoints.rend(); ++it) {
+    if (const auto anchor = anchor_of(*it); anchor.has_value()) {
+      chosen = anchor;
+      break;
+    }
+  }
+  if (!chosen.has_value() || *chosen <= log_base_) return 0;
+
+  // Step 1: compact the checkpoint stream, keeping every usable frame
+  // anchored at or above the chosen checkpoint (in practice: the chosen
+  // one) and shedding superseded, torn, and over-eager frames. Done first
+  // so that a crash between the steps still recovers: the survivor plus
+  // the still-complete log at/after its anchor is a valid disk.
+  Bytes kept;
+  for (const ScannedFrame& f : checkpoints) {
+    const auto anchor = anchor_of(f);
+    if (!anchor.has_value() || *anchor < *chosen) continue;
+    const std::size_t frame_bytes =
+        kHeaderBytes + f.payload.size() + kTrailerBytes;
+    kept.insert(kept.end(), cp_.begin() + static_cast<std::ptrdiff_t>(f.offset),
+                cp_.begin() + static_cast<std::ptrdiff_t>(f.offset +
+                                                          frame_bytes));
+  }
+  cp_ = std::move(kept);
+
+  // Step 2: reclaim the record-log prefix the checkpoint made redundant.
+  const std::uint64_t drop = *chosen - log_base_;
+  log_.erase(log_.begin(), log_.begin() + static_cast<std::ptrdiff_t>(drop));
+  log_base_ = *chosen;
+  truncated_bytes_ += drop;
+  return drop;
+}
+
 void Wal::clear() {
   log_.clear();
   cp_.clear();
+  log_base_ = 0;
   records_since_checkpoint_ = 0;
   record_count_ = 0;
   checkpoint_count_ = 0;
+  truncated_bytes_ = 0;
 }
 
 }  // namespace colony::storage

@@ -25,8 +25,14 @@
 //   * the records strictly after the chosen checkpoint's anchor offset
 //     are returned as the replay tail, in append order.
 //
-// Streams are never truncated by normal operation; truncate_to() exists
-// so a restarted node can drop a torn tail before appending again.
+// Record-log positions are *logical* offsets: they count bytes since the
+// log's genesis, not since the start of the in-memory stream. The two
+// coincide until truncate_to_checkpoint() reclaims the prefix below the
+// newest checkpoint, after which log_base() reports the logical offset of
+// the first byte still present. Anchors, valid_bytes, and
+// checkpoint_offset are all logical, so checkpoints stay valid across
+// truncations. truncate_to() exists so a restarted node can drop a torn
+// tail before appending again.
 #pragma once
 
 #include <cstdint>
@@ -54,7 +60,8 @@ struct WalRecovery {
   std::uint64_t checkpoint_offset = 0;
   /// Records after checkpoint_offset, in append order.
   std::vector<WalRecord> tail;
-  /// Length of the intact record-log prefix; bytes past it are garbage.
+  /// Logical end of the intact record-log prefix; bytes past it are
+  /// garbage.
   std::uint64_t valid_bytes = 0;
   /// True when either stream carried a torn/corrupt tail that was dropped.
   bool torn = false;
@@ -82,8 +89,24 @@ class Wal {
   [[nodiscard]] WalRecovery recover() const;
 
   /// Drop everything past the intact prefix (post-recovery cleanup so new
-  /// appends extend a well-formed log).
+  /// appends extend a well-formed log). `valid_bytes` is logical.
   void truncate_to(std::uint64_t valid_bytes);
+
+  /// Reclaim the record-log prefix below the newest usable checkpoint and
+  /// drop the checkpoints it supersedes. Ordered so a crash at any point
+  /// leaves a recoverable disk: the checkpoint stream is compacted first
+  /// (the survivor is the one recover() would pick), then the log prefix
+  /// behind its anchor is erased and log_base() advances to the anchor.
+  /// Returns the number of log bytes reclaimed (0 when there is no usable
+  /// checkpoint or nothing to drop).
+  std::uint64_t truncate_to_checkpoint();
+
+  /// Logical offset of the first byte still present in the record log.
+  [[nodiscard]] std::uint64_t log_base() const { return log_base_; }
+  /// Total record-log bytes ever reclaimed by truncate_to_checkpoint().
+  [[nodiscard]] std::uint64_t truncated_bytes() const {
+    return truncated_bytes_;
+  }
 
   /// Records appended since the last checkpoint (checkpoint cadence).
   [[nodiscard]] std::uint64_t records_since_checkpoint() const {
@@ -108,9 +131,11 @@ class Wal {
  private:
   Bytes log_;
   Bytes cp_;
+  std::uint64_t log_base_ = 0;  // logical offset of log_[0]
   std::uint64_t records_since_checkpoint_ = 0;
   std::uint64_t record_count_ = 0;
   std::uint64_t checkpoint_count_ = 0;
+  std::uint64_t truncated_bytes_ = 0;
 };
 
 }  // namespace colony::storage

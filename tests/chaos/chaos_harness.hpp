@@ -33,6 +33,10 @@ struct HarnessConfig {
   std::size_t k_stability = 2;
   std::size_t num_edges = 4;
   std::size_t num_counters = 2;  // independent shared PN-counters
+  /// Apply worker threads per DC (0/1 = inline). The converged state must
+  /// be byte-identical at any setting — the pool equivalence sweep runs
+  /// the same seed at several sizes and compares.
+  std::size_t apply_workers = 0;
 
   // Fault schedule (chaos.seed is overwritten with `seed`).
   sim::ChaosConfig chaos;
@@ -65,6 +69,7 @@ class Harness {
     cluster_cfg.num_dcs = cfg_.num_dcs;
     cluster_cfg.k_stability = cfg_.k_stability;
     cluster_cfg.seed = cfg_.seed;
+    cluster_cfg.apply_workers_per_dc = cfg_.apply_workers;
     cluster_ = std::make_unique<Cluster>(cluster_cfg);
 
     pair_keys_ = {ObjectKey{"chaos", "pair_a"}, ObjectKey{"chaos", "pair_b"}};

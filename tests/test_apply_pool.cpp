@@ -1,0 +1,226 @@
+// ApplyPool unit coverage: the sharded worker pool must be byte-equivalent
+// to the inline apply path (single-writer-per-object + per-key FIFO =>
+// deterministic state at any pool size), and the JournalStore's defensive
+// flushes must make pending work invisible to every reader.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/visibility.hpp"
+#include "crdt/counter.hpp"
+#include "crdt/or_set.hpp"
+#include "storage/apply_pool.hpp"
+#include "storage/journal_store.hpp"
+
+namespace colony {
+namespace {
+
+ObjectKey key_n(std::size_t i) {
+  return ObjectKey{"pool", "k" + std::to_string(i)};
+}
+
+Bytes store_bytes(const JournalStore& store) {
+  Encoder enc;
+  store.encode(enc);
+  return enc.take();
+}
+
+/// Drive the same mixed-type op stream into a store, inline or pooled.
+/// Payloads are staged in a vector first: the pooled apply path defers the
+/// journal copy to a worker, so payloads must outlive the applies — the
+/// flush before returning honours that contract (real callers' payloads
+/// live in the TxnStore / the decoded message, both of which outlive the
+/// event's barrier).
+void feed(JournalStore& store, std::size_t ops, std::size_t keys,
+          bool mask_some) {
+  std::vector<Bytes> payloads;
+  payloads.reserve(ops);
+  for (std::size_t i = 0; i < ops; ++i) {
+    const Dot dot{7, static_cast<std::uint64_t>(i + 1)};
+    if (i % 2 == 0) {
+      payloads.push_back(
+          PnCounter::prepare_add(static_cast<std::int64_t>(i % 9)));
+    } else {
+      payloads.push_back(OrSet::prepare_add("elem-" + std::to_string(i), dot));
+    }
+  }
+  for (std::size_t i = 0; i < ops; ++i) {
+    const Dot dot{7, static_cast<std::uint64_t>(i + 1)};
+    const bool masked = mask_some && i % 5 == 0;
+    store.apply(key_n(i % keys),
+                i % 2 == 0 ? CrdtType::kPnCounter : CrdtType::kOrSet, dot,
+                payloads[i], masked);
+  }
+  store.flush_applies();
+}
+
+TEST(ApplyPool, PooledStoreMatchesInlineBytes) {
+  for (const std::size_t workers : {2u, 3u, 4u}) {
+    JournalStore inline_store;
+    feed(inline_store, 500, 16, /*mask_some=*/true);
+
+    ApplyPool pool(workers);
+    JournalStore pooled;
+    pooled.set_apply_pool(&pool);
+    feed(pooled, 500, 16, /*mask_some=*/true);
+
+    EXPECT_GT(pool.submitted(), 0u);
+    EXPECT_EQ(store_bytes(inline_store), store_bytes(pooled))
+        << "divergence at " << workers << " workers";
+  }
+}
+
+TEST(ApplyPool, SameKeyOpsStaySequenced) {
+  // Every op hits one key: all tasks land on one worker and must fold in
+  // submission order (OR-Set add/remove order is visible in the state).
+  ApplyPool pool(4);
+  JournalStore pooled;
+  pooled.set_apply_pool(&pool);
+  JournalStore inline_store;
+  std::vector<Bytes> ops;  // outlives the deferred pooled applies
+  ops.reserve(200);        // no reallocation under live payload pointers
+  for (std::size_t i = 0; i < 200; ++i) {
+    const Dot dot{3, static_cast<std::uint64_t>(i + 1)};
+    ops.push_back(OrSet::prepare_add("x" + std::to_string(i % 7), dot));
+    pooled.apply(key_n(0), CrdtType::kOrSet, dot, ops.back());
+    inline_store.apply(key_n(0), CrdtType::kOrSet, dot, ops.back());
+  }
+  pooled.flush_applies();
+  EXPECT_EQ(store_bytes(inline_store), store_bytes(pooled));
+}
+
+TEST(ApplyPool, ReadersFlushDefensively) {
+  ApplyPool pool(2);
+  JournalStore store;
+  store.set_apply_pool(&pool);
+  const Bytes add5 = PnCounter::prepare_add(5);  // outlives the flush
+  store.apply(key_n(1), CrdtType::kPnCounter, Dot{1, 1}, add5);
+  ASSERT_TRUE(store.applies_pending());
+
+  // Touching a different key must NOT force the join (per-key pending
+  // tracking keeps hot reads like the ACL check from destroying batching).
+  EXPECT_EQ(store.current(key_n(2)), nullptr);
+  EXPECT_TRUE(store.applies_pending());
+
+  // Reading the touched key joins and sees the folded value.
+  const auto* counter =
+      dynamic_cast<const PnCounter*>(store.current(key_n(1)));
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value(), 5);
+  EXPECT_FALSE(store.applies_pending());
+}
+
+TEST(ApplyPool, MaskedPooledAppliesJournalOnly) {
+  ApplyPool pool(2);
+  JournalStore store;
+  store.set_apply_pool(&pool);
+  const Bytes add9 = PnCounter::prepare_add(9);  // outlives the flush
+  store.apply(key_n(0), CrdtType::kPnCounter, Dot{1, 1}, add9,
+              /*masked=*/true);
+  store.flush_applies();
+  EXPECT_EQ(store.journal_length(key_n(0)), 1u);
+  const auto* counter =
+      dynamic_cast<const PnCounter*>(store.current(key_n(0)));
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value(), 0);  // masked: journalled, not folded
+}
+
+TEST(ApplyPool, BakedDotsSkippedBeforeHandoff) {
+  ApplyPool pool(2);
+  JournalStore store;
+  store.set_apply_pool(&pool);
+  ObjectSnapshot snap;
+  snap.key = key_n(0);
+  snap.type = CrdtType::kPnCounter;
+  PnCounter seeded;
+  seeded.apply(PnCounter::prepare_add(4));
+  snap.state = seeded.snapshot();
+  snap.applied = {Dot{1, 1}};
+  store.import_snapshot(snap);
+
+  const Bytes add4 = PnCounter::prepare_add(4);
+  store.apply(key_n(0), CrdtType::kPnCounter, Dot{1, 1},
+              add4);                      // duplicate of a baked dot
+  EXPECT_FALSE(store.applies_pending());  // dropped on the control thread
+  const auto* counter =
+      dynamic_cast<const PnCounter*>(store.current(key_n(0)));
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value(), 4);
+}
+
+TEST(ApplyPool, DetachJoinsPendingWork) {
+  ApplyPool pool(2);
+  JournalStore store;
+  store.set_apply_pool(&pool);
+  const Bytes add2 = PnCounter::prepare_add(2);  // outlives the detach join
+  store.apply(key_n(0), CrdtType::kPnCounter, Dot{1, 1}, add2);
+  store.set_apply_pool(nullptr);
+  EXPECT_FALSE(store.applies_pending());
+  const auto* counter =
+      dynamic_cast<const PnCounter*>(store.current(key_n(0)));
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value(), 2);
+}
+
+TEST(ApplyPool, OwnerIsStableAndInRange) {
+  ApplyPool pool(4);
+  for (std::size_t i = 0; i < 64; ++i) {
+    const std::uint32_t owner = pool.owner(key_n(i));
+    EXPECT_LT(owner, pool.size());
+    EXPECT_EQ(owner, pool.owner(key_n(i)));  // deterministic partition
+  }
+}
+
+/// The engine-level contract: a full backlog drain through the visibility
+/// engine with a pooled store matches the inline drain bit-for-bit —
+/// store bytes, engine state, and visibility-log digest.
+TEST(ApplyPool, EngineBacklogDrainEquivalence) {
+  const auto run = [](ApplyPool* pool) {
+    TxnStore txns;
+    JournalStore store;
+    if (pool != nullptr) store.set_apply_pool(pool);
+    VisibilityEngine engine(txns, store, 3);
+    engine.set_security_check([](const Transaction& txn) {
+      return txn.meta.dot.counter % 7 != 0;  // periodic mask
+    });
+    std::vector<Transaction> backlog;
+    for (Timestamp ts = 1; ts <= 400; ++ts) {
+      Transaction txn;
+      txn.meta.dot = Dot{100, ts};
+      txn.meta.origin = 100;
+      txn.meta.snapshot = VersionVector(3);
+      txn.meta.snapshot.set(0, ts - 1);
+      txn.meta.mark_accepted(0, ts);
+      for (int op = 0; op < 4; ++op) {
+        txn.ops.push_back(
+            OpRecord{key_n((ts + static_cast<Timestamp>(op)) % 24),
+                     CrdtType::kOrSet,
+                     OrSet::prepare_add("m" + std::to_string(ts), Dot{100, ts})});
+      }
+      backlog.push_back(std::move(txn));
+    }
+    for (auto it = backlog.rbegin(); it != backlog.rend(); ++it) {
+      engine.ingest(*it);
+    }
+    EXPECT_EQ(engine.pending_count(), 0u);
+    EXPECT_FALSE(store.applies_pending());  // event boundary joined
+    Encoder state;
+    engine.encode_state(state);
+    return std::tuple{store_bytes(store), state.take(),
+                      engine.log().digest()};
+  };
+
+  const auto baseline = run(nullptr);
+  for (const std::size_t workers : {2u, 4u}) {
+    ApplyPool pool(workers);
+    const auto pooled = run(&pool);
+    EXPECT_GT(pool.submitted(), 0u);
+    EXPECT_EQ(std::get<0>(baseline), std::get<0>(pooled)) << workers;
+    EXPECT_EQ(std::get<1>(baseline), std::get<1>(pooled)) << workers;
+    EXPECT_EQ(std::get<2>(baseline), std::get<2>(pooled)) << workers;
+  }
+}
+
+}  // namespace
+}  // namespace colony

@@ -1,0 +1,286 @@
+// Pool-size equivalence sweep: determinism beneath the event boundary
+// (DESIGN.md §10) means one seeded history must converge to byte-identical
+// state at EVERY apply-pool size — the worker count may change scheduling,
+// never outcomes.
+//
+// Two layers of evidence:
+//   * An engine-level sweep (100+ seeds, fast): each seed generates a
+//     shuffled multi-DC history — causal chains with cross-DC snapshot
+//     edges, out-of-order symbolic resolutions, pending deps, read-my-writes
+//     apply_local, ACL masking — and replays it through a fresh
+//     VisibilityEngine at pool sizes {inline, 1, 2, 4}, byte-comparing the
+//     journal-store encoding, the engine state encoding, and the
+//     visibility-log digest.
+//   * A full-cluster chaos sweep (heavier, fewer seeds by default): the
+//     same fault schedule + workload at apply_workers {1, 2, 4}, comparing
+//     the converged digest, the commit count, and every DC's encode_durable
+//     bytes — the exact image crash-recovery replays from.
+//
+// Seed range overrides (read when the binary runs):
+//   COLONY_POOL_EQ_SEED_BASE     first engine-level seed (default 1)
+//   COLONY_POOL_EQ_SEEDS         engine-level seed count (default 100)
+//   COLONY_POOL_CHAOS_SEED_BASE  first chaos seed (default 1)
+//   COLONY_POOL_CHAOS_SEEDS     chaos seed count (default 100)
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "chaos_harness.hpp"
+#include "core/visibility.hpp"
+#include "crdt/counter.hpp"
+#include "crdt/or_set.hpp"
+#include "storage/apply_pool.hpp"
+#include "util/rng.hpp"
+
+namespace colony {
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const std::uint64_t parsed = std::strtoull(v, nullptr, 10);
+  return parsed == 0 ? fallback : parsed;
+}
+
+std::vector<std::uint64_t> seeds_from_env(const char* base_name,
+                                          const char* count_name,
+                                          std::uint64_t default_count) {
+  const std::uint64_t base = env_u64(base_name, 1);
+  const std::uint64_t count = env_u64(count_name, default_count);
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) seeds.push_back(base + i);
+  return seeds;
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level sweep.
+// ---------------------------------------------------------------------------
+
+/// Everything a run can externalize; two equivalent runs must match in all
+/// three fields byte-for-byte.
+struct RunImage {
+  Bytes store;
+  Bytes engine;
+  std::uint64_t log_digest = 0;
+};
+
+/// Replay one seeded history through a fresh engine. The Rng is consumed
+/// identically on every call — the pool is invisible to generation and
+/// delivery, so any divergence in the returned image is the pool's fault.
+RunImage run_history(std::uint64_t seed, ApplyPool* pool) {
+  constexpr std::size_t kDcs = 3;
+  constexpr Timestamp kChainLen = 20;
+
+  Rng rng(seed * 0x9e3779b97f4a7c15ull + 1);
+  TxnStore txns;
+  JournalStore store;
+  if (pool != nullptr) store.set_apply_pool(pool);
+  VisibilityEngine engine(txns, store, kDcs);
+  engine.set_security_check([](const Transaction& txn) {
+    return txn.meta.dot.counter % 5 != 0;  // periodic ACL veto
+  });
+
+  struct Event {
+    enum Kind { kIngest, kResolve } kind;
+    Transaction txn;   // kIngest
+    Dot dot;           // kResolve
+    DcId dc = 0;       // kResolve
+    Timestamp ts = 0;  // kResolve
+  };
+  std::vector<Event> events;
+  std::vector<Event> resolutions;
+
+  // Interleaved generation keeps the causal graph acyclic (snapshot edges
+  // only point at already-generated txns) — see test_drain_equivalence.
+  std::vector<Timestamp> generated(kDcs, 0);
+  while (true) {
+    std::vector<DcId> open;
+    for (DcId dc = 0; dc < kDcs; ++dc) {
+      if (generated[dc] < kChainLen) open.push_back(dc);
+    }
+    if (open.empty()) break;
+    const DcId dc = open[rng.below(open.size())];
+    const Timestamp ts = ++generated[dc];
+    VersionVector snap(kDcs);
+    snap.set(dc, ts - 1);
+    for (DcId other = 0; other < kDcs; ++other) {
+      if (other != dc && generated[other] > 0 && rng.chance(0.3)) {
+        snap.set(other, rng.between(1, generated[other]));
+      }
+    }
+    Transaction txn;
+    txn.meta.dot = Dot{100 + dc, ts};
+    txn.meta.origin = 100 + dc;
+    txn.meta.snapshot = std::move(snap);
+    txn.meta.mark_accepted(dc, ts);
+    // Multi-op body over a small hot key set: counters collide across DCs
+    // (worker-order-sensitive if the single-writer partition were broken)
+    // and OR-Set journals pin per-key FIFO order in the encoding.
+    txn.ops.push_back(
+        OpRecord{{"eq", "c" + std::to_string((ts + dc) % 4)},
+                 CrdtType::kPnCounter,
+                 PnCounter::prepare_add(static_cast<std::int64_t>(ts % 7))});
+    txn.ops.push_back(OpRecord{
+        {"eq", "s" + std::to_string((ts * 3 + dc) % 8)}, CrdtType::kOrSet,
+        OrSet::prepare_add("e" + std::to_string(ts) + "-" + std::to_string(dc),
+                           txn.meta.dot)});
+    if (rng.chance(0.25) && ts > 1) {
+      txn.meta.pending_deps.push_back(Dot{100 + dc, ts - 1});
+    }
+    if (rng.chance(0.35)) {
+      txn.meta.commit = VersionVector{};
+      txn.meta.accepted_mask = 0;
+      txn.meta.concrete = false;
+      Event res;
+      res.kind = Event::kResolve;
+      res.dot = txn.meta.dot;
+      res.dc = dc;
+      res.ts = ts;
+      events.push_back(res);
+      resolutions.push_back(res);
+    }
+    Event ing;
+    ing.kind = Event::kIngest;
+    ing.txn = std::move(txn);
+    events.push_back(std::move(ing));
+  }
+
+  for (std::size_t i = events.size(); i > 1; --i) {
+    std::swap(events[i - 1], events[rng.below(i)]);
+  }
+
+  for (Event& ev : events) {
+    if (ev.kind == Event::kIngest) {
+      const Dot dot = ev.txn.meta.dot;
+      const bool symbolic = !ev.txn.meta.concrete;
+      engine.ingest(std::move(ev.txn));
+      if (symbolic && rng.chance(0.3)) {
+        engine.apply_local(dot);  // read-my-writes mid-history
+      }
+    } else {
+      engine.resolve(ev.dot, ev.dc, ev.ts);
+    }
+  }
+
+  // Mid-run ACL flip: recompute_masks() rebuilds CRDT values from journals,
+  // a whole-store reader that must observe every pending pooled apply.
+  engine.set_security_check([](const Transaction& txn) {
+    return txn.meta.dot.counter % 7 != 0;
+  });
+  engine.recompute_masks();
+
+  for (const Event& res : resolutions) {
+    engine.resolve(res.dot, res.dc, res.ts);
+  }
+  engine.drain();
+  EXPECT_EQ(engine.pending_count(), 0u) << "seed " << seed;
+  EXPECT_FALSE(store.applies_pending()) << "seed " << seed;
+
+  RunImage image;
+  Encoder store_enc;
+  store.encode(store_enc);
+  image.store = store_enc.take();
+  Encoder engine_enc;
+  engine.encode_state(engine_enc);
+  image.engine = engine_enc.take();
+  image.log_digest = engine.log().digest();
+  return image;
+}
+
+class PoolEquivalenceSweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PoolEquivalenceSweep, EveryPoolSizeMatchesInline) {
+  const std::uint64_t seed = GetParam();
+  const RunImage inline_image = run_history(seed, nullptr);
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    ApplyPool pool(workers);
+    const RunImage pooled = run_history(seed, &pool);
+    EXPECT_GT(pool.submitted(), 0u)
+        << "seed " << seed << ": pool of " << workers << " never used";
+    EXPECT_EQ(inline_image.store, pooled.store)
+        << "seed " << seed << " store bytes diverged at " << workers
+        << " workers";
+    EXPECT_EQ(inline_image.engine, pooled.engine)
+        << "seed " << seed << " engine state diverged at " << workers
+        << " workers";
+    EXPECT_EQ(inline_image.log_digest, pooled.log_digest)
+        << "seed " << seed << " visibility-log order diverged at " << workers
+        << " workers";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, PoolEquivalenceSweep,
+    ::testing::ValuesIn(seeds_from_env("COLONY_POOL_EQ_SEED_BASE",
+                                       "COLONY_POOL_EQ_SEEDS", 100)),
+    [](const auto& info) { return "seed" + std::to_string(info.param); });
+
+// ---------------------------------------------------------------------------
+// Full-cluster chaos sweep.
+// ---------------------------------------------------------------------------
+
+struct ClusterImage {
+  std::string digest;
+  std::uint64_t commits = 0;
+  std::vector<Bytes> durable;  // encode_durable per DC, the recovery image
+};
+
+ClusterImage observe_cluster(std::uint64_t seed, std::size_t workers) {
+  chaos_test::HarnessConfig cfg;
+  cfg.seed = seed;
+  cfg.apply_workers = workers;
+  // Each seed runs three full clusters; a slightly shorter schedule than
+  // the main chaos sweep keeps 100 seeds affordable (coverage comes from
+  // seed count, not per-seed duration).
+  cfg.chaos.epochs = 2;
+  chaos_test::Harness harness(cfg);
+  const chaos_test::RunResult result = harness.run();
+  EXPECT_TRUE(result.ok()) << "seed " << seed << " at " << workers
+                           << " workers:\n"
+                           << result.report.to_string();
+  ClusterImage image;
+  image.digest = result.final_digest;
+  image.commits = result.commits;
+  for (DcId d = 0; d < static_cast<DcId>(cfg.num_dcs); ++d) {
+    image.durable.push_back(harness.cluster().dc(d).durable_bytes());
+  }
+  return image;
+}
+
+class PoolChaosEquivalence : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PoolChaosEquivalence, ChaosRunMatchesAcrossPoolSizes) {
+  const std::uint64_t seed = GetParam();
+  const ClusterImage base = observe_cluster(seed, 1);
+  EXPECT_GT(base.commits, 0u) << "seed " << seed << " produced no commits";
+  for (const std::size_t workers : {2u, 4u}) {
+    const ClusterImage got = observe_cluster(seed, workers);
+    EXPECT_EQ(base.digest, got.digest)
+        << "seed " << seed << " converged digest diverged at " << workers
+        << " workers";
+    EXPECT_EQ(base.commits, got.commits)
+        << "seed " << seed << " commit count diverged at " << workers
+        << " workers";
+    ASSERT_EQ(base.durable.size(), got.durable.size());
+    for (std::size_t d = 0; d < base.durable.size(); ++d) {
+      EXPECT_EQ(base.durable[d], got.durable[d])
+          << "seed " << seed << " dc" << d << " durable bytes diverged at "
+          << workers << " workers";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, PoolChaosEquivalence,
+    ::testing::ValuesIn(seeds_from_env("COLONY_POOL_CHAOS_SEED_BASE",
+                                       "COLONY_POOL_CHAOS_SEEDS", 100)),
+    [](const auto& info) { return "seed" + std::to_string(info.param); });
+
+}  // namespace
+}  // namespace colony

@@ -200,6 +200,163 @@ TEST(Wal, TruncateToCleansTornTailForNewAppends) {
   EXPECT_EQ(rec.tail.back().payload, bytes_of("fresh"));
 }
 
+// --- checkpoint truncation ------------------------------------------------
+
+TEST(Wal, TruncateToCheckpointReclaimsPrefixAndKeepsRecovery) {
+  Wal wal;
+  fill(wal, 3);
+  wal.write_checkpoint(bytes_of("snap"));
+  const auto later = fill(wal, 2);
+
+  const WalRecovery before = wal.recover();
+  const std::uint64_t anchor = before.checkpoint_offset;
+  ASSERT_GT(anchor, 0u);
+
+  const std::uint64_t dropped = wal.truncate_to_checkpoint();
+  EXPECT_EQ(dropped, anchor);
+  EXPECT_EQ(wal.log_base(), anchor);
+  EXPECT_EQ(wal.truncated_bytes(), anchor);
+
+  // Recovery after truncation is logically unchanged: same checkpoint, same
+  // tail, same logical end — only the dead prefix is gone from memory.
+  const WalRecovery after = wal.recover();
+  EXPECT_FALSE(after.torn);
+  ASSERT_TRUE(after.checkpoint.has_value());
+  EXPECT_EQ(*after.checkpoint, bytes_of("snap"));
+  EXPECT_EQ(after.checkpoint_offset, anchor);
+  EXPECT_EQ(after.valid_bytes, before.valid_bytes);
+  ASSERT_EQ(after.tail.size(), 2u);
+  EXPECT_EQ(after.tail[0].payload, later[0]);
+  EXPECT_EQ(after.tail[1].payload, later[1]);
+
+  // The log keeps growing normally from the truncated base.
+  wal.append(42, bytes_of("post-truncation"));
+  const WalRecovery grown = wal.recover();
+  ASSERT_EQ(grown.tail.size(), 3u);
+  EXPECT_EQ(grown.tail.back().payload, bytes_of("post-truncation"));
+}
+
+TEST(Wal, TruncateToCheckpointWithoutCheckpointIsANoop) {
+  Wal wal;
+  fill(wal, 4);
+  const std::size_t before = wal.log_bytes();
+  EXPECT_EQ(wal.truncate_to_checkpoint(), 0u);
+  EXPECT_EQ(wal.log_bytes(), before);
+  EXPECT_EQ(wal.log_base(), 0u);
+}
+
+TEST(Wal, TruncateToCheckpointIsIdempotent) {
+  Wal wal;
+  fill(wal, 3);
+  wal.write_checkpoint(bytes_of("snap"));
+  fill(wal, 2);
+  EXPECT_GT(wal.truncate_to_checkpoint(), 0u);
+  // The surviving checkpoint anchors exactly at log_base: nothing more to
+  // reclaim until a NEWER checkpoint lands.
+  EXPECT_EQ(wal.truncate_to_checkpoint(), 0u);
+}
+
+TEST(Wal, TruncateToCheckpointShedsSupersededCheckpoints) {
+  Wal wal;
+  fill(wal, 2);
+  wal.write_checkpoint(bytes_of("older"));
+  fill(wal, 2);
+  wal.write_checkpoint(bytes_of("newest"));
+  const std::size_t two_cp_bytes = wal.checkpoint_bytes();
+
+  EXPECT_GT(wal.truncate_to_checkpoint(), 0u);
+  EXPECT_LT(wal.checkpoint_bytes(), two_cp_bytes);  // "older" gone
+  EXPECT_EQ(wal.log_bytes(), 0u);                   // everything folded
+  const WalRecovery rec = wal.recover();
+  ASSERT_TRUE(rec.checkpoint.has_value());
+  EXPECT_EQ(*rec.checkpoint, bytes_of("newest"));
+  EXPECT_TRUE(rec.tail.empty());
+}
+
+TEST(Wal, TornTruncationIntermediateStateStillRecovers) {
+  // Crash between truncation's two steps: the checkpoint stream is already
+  // compacted but the record log still holds the full prefix. Recovery must
+  // behave exactly as if truncation had completed (or never started).
+  Wal pristine;
+  fill(pristine, 2);
+  pristine.write_checkpoint(bytes_of("older"));
+  const auto later = fill(pristine, 2);
+  pristine.write_checkpoint(bytes_of("newest"));
+  const WalRecovery want = pristine.recover();
+
+  Wal done = pristine;
+  done.truncate_to_checkpoint();
+
+  Wal intermediate;  // compacted checkpoints + untouched log, base still 0
+  intermediate.mutable_log() = pristine.raw_log();
+  intermediate.mutable_checkpoints() = done.raw_checkpoints();
+  const WalRecovery rec = intermediate.recover();
+  ASSERT_TRUE(rec.checkpoint.has_value());
+  EXPECT_EQ(*rec.checkpoint, bytes_of("newest"));
+  EXPECT_EQ(rec.checkpoint_offset, want.checkpoint_offset);
+  EXPECT_EQ(rec.tail, want.tail);
+  EXPECT_FALSE(rec.torn);
+}
+
+TEST(Wal, TruncatedLogSurvivesTornTailFuzz) {
+  // The full torn-tail sweep over a truncated wal: logical offsets must keep
+  // lining up when the in-memory stream no longer starts at genesis.
+  Wal pristine;
+  fill(pristine, 3);
+  pristine.write_checkpoint(bytes_of("snap"));
+  ASSERT_GT(pristine.truncate_to_checkpoint(), 0u);
+  const auto later = fill(pristine, 2);
+  const std::size_t full = pristine.log_bytes();
+  const std::size_t last_frame =
+      Wal::kHeaderBytes + later.back().size() + Wal::kTrailerBytes;
+  const std::size_t boundary = full - last_frame;
+
+  for (std::size_t cut = boundary; cut < full; ++cut) {
+    Wal wal = pristine;
+    wal.mutable_log().resize(cut);
+    const WalRecovery rec = wal.recover();
+    ASSERT_TRUE(rec.checkpoint.has_value()) << "cut at byte " << cut;
+    EXPECT_EQ(*rec.checkpoint, bytes_of("snap")) << "cut at byte " << cut;
+    ASSERT_EQ(rec.tail.size(), 1u) << "cut at byte " << cut;
+    EXPECT_EQ(rec.tail[0].payload, later[0]) << "cut at byte " << cut;
+    EXPECT_EQ(rec.valid_bytes, wal.log_base() + boundary)
+        << "cut at byte " << cut;
+
+    // Post-recovery cleanup + append must work against logical offsets.
+    wal.truncate_to(rec.valid_bytes);
+    wal.append(77, bytes_of("fresh"));
+    const WalRecovery again = wal.recover();
+    EXPECT_FALSE(again.torn) << "cut at byte " << cut;
+    ASSERT_EQ(again.tail.size(), 2u) << "cut at byte " << cut;
+    EXPECT_EQ(again.tail.back().payload, bytes_of("fresh"))
+        << "cut at byte " << cut;
+  }
+}
+
+TEST(Wal, CheckpointAfterTruncationAnchorsLogically) {
+  Wal wal;
+  fill(wal, 3);
+  wal.write_checkpoint(bytes_of("first"));
+  const std::uint64_t first_drop = wal.truncate_to_checkpoint();
+  ASSERT_GT(first_drop, 0u);
+  fill(wal, 2);
+  wal.write_checkpoint(bytes_of("second"));
+
+  const WalRecovery rec = wal.recover();
+  ASSERT_TRUE(rec.checkpoint.has_value());
+  EXPECT_EQ(*rec.checkpoint, bytes_of("second"));
+  EXPECT_EQ(rec.checkpoint_offset, wal.log_base() + wal.log_bytes());
+  EXPECT_TRUE(rec.tail.empty());
+
+  // A second truncation reclaims the two records behind "second" and keeps
+  // compounding the logical base.
+  const std::uint64_t second_drop = wal.truncate_to_checkpoint();
+  EXPECT_GT(second_drop, 0u);
+  EXPECT_EQ(wal.truncated_bytes(), first_drop + second_drop);
+  EXPECT_EQ(wal.log_base(), first_drop + second_drop);
+  EXPECT_EQ(wal.log_bytes(), 0u);
+}
+
 TEST(Wal, EmptyPayloadRecordsRoundTrip) {
   Wal wal;
   wal.append(7, Bytes{});
